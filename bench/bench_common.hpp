@@ -1,0 +1,117 @@
+// Shared harness code for the table/figure benches.
+//
+// Every bench regenerates one table or figure of the paper: it prints the
+// paper's reference rows, then the rows measured by this reproduction. Op
+// counts are exact analytic values (identical to the paper's by
+// construction); accuracies come from scaled-down CPU trainings on the
+// synthetic datasets (DESIGN.md §4), scalable via --train-samples /
+// --test-samples / --epochs up to paper-scale schedules.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/introspect.hpp"
+#include "core/strategy.hpp"
+#include "data/synthetic.hpp"
+#include "models/variant.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "ops/op_count.hpp"
+#include "tensor/rng.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/logging.hpp"
+
+namespace pecan::bench {
+
+struct TrainSettings {
+  std::int64_t train_samples = 64;
+  std::int64_t test_samples = 48;
+  std::int64_t epochs = 2;
+  std::int64_t batch = 8;
+  double lr_angle = 5e-3;    ///< empirically robust for PECAN-A co-opt
+  double lr_distance = 2e-3; ///< paper uses 1e-3; 2e-3 converges faster at this scale
+  double lr_baseline = 1e-3;
+  std::uint64_t seed = 4;
+};
+
+inline TrainSettings settings_from_args(const util::Args& args, TrainSettings defaults = {}) {
+  TrainSettings s = defaults;
+  s.train_samples = args.get_int("train-samples", s.train_samples);
+  s.test_samples = args.get_int("test-samples", s.test_samples);
+  s.epochs = args.get_int("epochs", s.epochs);
+  s.batch = args.get_int("batch", s.batch);
+  s.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<long>(s.seed)));
+  if (args.get_bool("quick", false)) {
+    s.train_samples = std::min<std::int64_t>(s.train_samples, 32);
+    s.test_samples = std::min<std::int64_t>(s.test_samples, 24);
+    s.epochs = 1;
+  }
+  return s;
+}
+
+/// One sample probed through the model so every layer latches its geometry,
+/// then the summed Table-1 analytic ops.
+inline ops::OpCount probe_ops(nn::Module& model, Shape input_shape) {
+  model.set_training(false);
+  Rng rng(0);
+  model.forward(rng.randn(std::move(input_shape)));
+  return model.inference_ops();
+}
+
+/// Trains a model with the variant-appropriate recipe and returns test
+/// accuracy (%). PECAN-D gets a k-means codebook warm start; PECAN-A trains
+/// from random codebooks (a k-means start saturates its softmax — see
+/// tests/test_training.cpp).
+inline double train_and_eval(nn::Module& model, models::Variant variant,
+                             const data::TrainTestSplit& split, const TrainSettings& s,
+                             bool freeze_weights = false) {
+  if (variant == models::Variant::PecanD) {
+    Rng km(s.seed + 17);
+    const std::int64_t calib = std::min<std::int64_t>(split.train.size(), 48);
+    pq::kmeans_calibrate(model, data::take(split.train, calib).images, 5, km);
+  }
+  double lr = s.lr_baseline;
+  if (variant == models::Variant::PecanA) lr = s.lr_angle;
+  if (variant == models::Variant::PecanD) lr = s.lr_distance;
+
+  std::vector<nn::Parameter*> params;
+  if (freeze_weights) {
+    params = pq::trainable_parameters(model, pq::TrainingStrategy::UniOptimize);
+  } else {
+    pq::apply_strategy(model, pq::TrainingStrategy::CoOptimize);
+    params = model.parameters();
+  }
+  nn::Adam opt(std::move(params), lr);
+
+  nn::DatasetView train{&split.train.images, &split.train.labels};
+  nn::DatasetView test{&split.test.images, &split.test.labels};
+  nn::TrainConfig cfg;
+  cfg.epochs = s.epochs;
+  cfg.batch_size = s.batch;
+  cfg.evaluate_each_epoch = false;
+  cfg.shuffle_seed = s.seed;
+  nn::fit(model, opt, train, test, cfg);
+  return nn::evaluate(model, test);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_scale_note(const TrainSettings& s) {
+  std::printf("[scale] accuracies from a CPU-scale run: %lld train / %lld test samples, "
+              "%lld epochs, batch %lld (synthetic data; see EXPERIMENTS.md). "
+              "Op counts are EXACT analytic values.\n",
+              static_cast<long long>(s.train_samples), static_cast<long long>(s.test_samples),
+              static_cast<long long>(s.epochs), static_cast<long long>(s.batch));
+}
+
+inline void init_bench_logging() { util::set_log_level(util::LogLevel::Warn); }
+
+}  // namespace pecan::bench

@@ -1,0 +1,92 @@
+// Kernel-level microbenchmarks (google-benchmark): the primitives behind
+// inference — SGEMM (baseline conv / PECAN-A scores), L1 best-match CAM
+// search (PECAN-D stage 1), LUT accumulation (stage 2), and im2col.
+// These quantify the per-primitive costs that Table 1 counts symbolically.
+#include <benchmark/benchmark.h>
+
+#include "cam/cam_array.hpp"
+#include "cam/lut.hpp"
+#include "nn/im2col.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/sgemm.hpp"
+
+using namespace pecan;
+
+namespace {
+
+void BM_Sgemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.randn({n, n});
+  Tensor b = rng.randn({n, n});
+  Tensor c({n, n});
+  for (auto _ : state) {
+    matmul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_CamL1Search(benchmark::State& state) {
+  const std::int64_t p = state.range(0), d = state.range(1);
+  Rng rng(2);
+  cam::CamArray array(rng.randn({p, d}), cam::SearchMetric::L1BestMatch);
+  Tensor queries = rng.randn({d, 64});
+  cam::OpCounter counter;
+  std::int64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.search(queries.data() + (q++ % 64), 64, counter));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * p * d);  // adds per search
+}
+BENCHMARK(BM_CamL1Search)->Args({64, 3})->Args({64, 9})->Args({32, 16})->Args({8, 16});
+
+void BM_CamDotScores(benchmark::State& state) {
+  const std::int64_t p = state.range(0), d = state.range(1);
+  Rng rng(3);
+  cam::CamArray array(rng.randn({p, d}), cam::SearchMetric::DotProduct);
+  Tensor queries = rng.randn({d, 64});
+  std::vector<float> scores(static_cast<std::size_t>(p));
+  cam::OpCounter counter;
+  std::int64_t q = 0;
+  for (auto _ : state) {
+    array.similarity_scores(queries.data() + (q++ % 64), 64, scores.data(), counter);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p * d);
+}
+BENCHMARK(BM_CamDotScores)->Args({16, 9})->Args({8, 16});
+
+void BM_LutAccumulate(benchmark::State& state) {
+  const std::int64_t cout = state.range(0), p = state.range(1);
+  Rng rng(4);
+  cam::LutMemory lut(rng.randn({cout, p}));
+  std::vector<float> out(static_cast<std::size_t>(cout));
+  cam::OpCounter counter;
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    lut.accumulate((k++) % p, out.data(), 1, counter);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * cout);
+}
+BENCHMARK(BM_LutAccumulate)->Args({128, 32})->Args({512, 32});
+
+void BM_Im2col(benchmark::State& state) {
+  const std::int64_t c = state.range(0), hw = state.range(1);
+  Rng rng(5);
+  Tensor image = rng.randn({c, hw, hw});
+  nn::Conv2dGeometry g{c, hw, hw, 3, 1, 1};
+  Tensor cols({g.rows(), g.cols()});
+  for (auto _ : state) {
+    nn::im2col(image.data(), g, cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.rows() * g.cols());
+}
+BENCHMARK(BM_Im2col)->Args({16, 32})->Args({128, 32});
+
+}  // namespace
+
+BENCHMARK_MAIN();

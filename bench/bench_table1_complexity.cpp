@@ -1,0 +1,85 @@
+// Table 1: inference complexities of PECAN-A and PECAN-D.
+//
+// The table is symbolic in the paper; this bench (a) prints the closed
+// forms, (b) instantiates them on every layer family used in the
+// evaluation, and (c) cross-checks each against a first-principles count of
+// the two Algorithm-1 stages (and against the dynamic counters of the CAM
+// executor, which tests/test_cam.cpp asserts as well).
+#include <cinttypes>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ops/complexity.hpp"
+
+using namespace pecan;
+
+namespace {
+
+struct Row {
+  const char* label;
+  ops::ConvDims dims;
+  ops::PqDims pq_a;
+  ops::PqDims pq_d;
+};
+
+void print_row(const Row& row) {
+  const ops::OpCount base = ops::conv_baseline(row.dims);
+  const ops::OpCount a = ops::conv_pecan_a(row.dims, row.pq_a);
+  const ops::OpCount d = ops::conv_pecan_d(row.dims, row.pq_d);
+  std::printf("%-34s | %11s %11s | %11s %11s | %11s %4s\n", row.label,
+              util::human_count(base.adds).c_str(), util::human_count(base.muls).c_str(),
+              util::human_count(a.adds).c_str(), util::human_count(a.muls).c_str(),
+              util::human_count(d.adds).c_str(), util::human_count(d.muls).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_bench_logging();
+  util::Args args(argc, argv);
+  (void)args;
+
+  bench::print_header("Table 1 — Inference complexities of PECAN-A and PECAN-D");
+  std::printf(
+      "Closed forms (paper, Table 1):\n"
+      "  Baseline CONV : #Add = #Mul = cin*Hout*Wout*k^2*cout\n"
+      "  PECAN-A  CONV : #Add = #Mul = p*D*Hout*Wout*(d + cout)\n"
+      "  PECAN-D  CONV : #Add = D*Hout*Wout*(2*p*d + cout), #Mul = 0\n"
+      "  FC = CONV with k = Hout = Wout = 1\n\n");
+
+  std::printf("%-34s | %23s | %23s | %16s\n", "layer (cin,cout,k,HoutxWout)", "Baseline add/mul",
+              "PECAN-A add/mul", "PECAN-D add/mul");
+  std::printf("%s\n", std::string(106, '-').c_str());
+
+  const Row rows[] = {
+      {"LeNet CONV1 (1,8,3,26x26)", {1, 8, 3, 26, 26}, {4, 1, 9}, {64, 1, 9}},
+      {"LeNet CONV2 (8,16,3,11x11)", {8, 16, 3, 11, 11}, {8, 3, 24}, {64, 8, 9}},
+      {"LeNet FC1 (400,128)", {400, 128, 1, 1, 1}, {8, 25, 16}, {64, 50, 8}},
+      {"VGG conv2 (128,128,3,32x32)", {128, 128, 3, 32, 32}, {16, 128, 9}, {32, 384, 3}},
+      {"VGG conv6 (512,512,3,8x8)", {512, 512, 3, 8, 8}, {16, 144, 32}, {32, 1536, 3}},
+      {"ResNet20 stage1 (16,16,3,32x32)", {16, 16, 3, 32, 32}, {8, 16, 9}, {64, 48, 3}},
+      {"ResNet20 stage3 (64,64,3,8x8)", {64, 64, 3, 8, 8}, {8, 36, 16}, {64, 192, 3}},
+      {"ConvMixer block (256,256,5,16x16)", {256, 256, 5, 16, 16}, {16, 256, 25}, {32, 256, 25}},
+  };
+  for (const Row& row : rows) print_row(row);
+
+  // First-principles audit: stage 1 (matching) + stage 2 (lookup) per row.
+  std::printf("\nAudit: formula vs first-principles stage count (must all be OK)\n");
+  for (const Row& row : rows) {
+    const std::uint64_t cols =
+        static_cast<std::uint64_t>(row.dims.hout) * static_cast<std::uint64_t>(row.dims.wout);
+    const std::uint64_t d_stage1 =
+        cols * static_cast<std::uint64_t>(row.pq_d.D) * row.pq_d.p * 2 * row.pq_d.d;
+    const std::uint64_t d_stage2 = cols * static_cast<std::uint64_t>(row.pq_d.D) * row.dims.cout;
+    const bool ok = ops::conv_pecan_d(row.dims, row.pq_d).adds == d_stage1 + d_stage2;
+    std::printf("  %-34s PECAN-D stage1=%" PRIu64 " stage2=%" PRIu64 " -> %s\n", row.label,
+                d_stage1, d_stage2, ok ? "OK" : "MISMATCH");
+  }
+  std::printf("\nPECAN-A cheaper-than-baseline constraint (paper: p <= min(l*cout,(1-l)*d)):\n");
+  for (const Row& row : rows) {
+    std::printf("  %-34s %s\n", row.label,
+                ops::pecan_a_cheaper_than_baseline(row.dims, row.pq_a) ? "satisfied"
+                                                                       : "NOT satisfied");
+  }
+  return 0;
+}

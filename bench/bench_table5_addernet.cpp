@@ -1,0 +1,73 @@
+// Table 5: VGG-Small comparison of CNN vs AdderNet vs PECAN-D — #Mul, #Add,
+// accuracy, normalized power, and latency cycles under the Intel VIA Nano
+// model (mul = 4 cycles / add = 2 cycles; 32-bit mul:add power = 4:1).
+//
+// Op counts, power, and latency are exact analytic values. The accuracy
+// column optionally retrains CNN and PECAN-D at CPU scale (--train);
+// AdderNet accuracy is N.A. in the paper as well (it did not fit on 4xV100
+// for VGG-Small).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "models/vgg_small.hpp"
+#include "ops/energy_model.hpp"
+
+using namespace pecan;
+
+int main(int argc, char** argv) {
+  bench::init_bench_logging();
+  util::Args args(argc, argv);
+  const bool do_train = args.get_bool("train", true);
+  bench::TrainSettings s = bench::settings_from_args(args, {/*train=*/64, /*test=*/48,
+                                                            /*epochs=*/2, /*batch=*/8});
+
+  bench::print_header("Table 5 — CNN vs AdderNet vs PECAN-D on VGG-Small (VIA Nano model)");
+  std::printf("Paper reference:\n"
+              "  %-9s %7s %7s %9s %17s %15s\n", "Method", "#Mul", "#Add", "Acc.(%)",
+              "NormalizedPower", "Latency(cycles)");
+  std::printf("  %-9s %7s %7s %9s %17s %15s\n", "CNN", "0.61G", "0.61G", "93.80", "8.24", "3.66G");
+  std::printf("  %-9s %7s %7s %9s %17s %15s\n", "AdderNet", "0", "1.22G", "N.A.", "3.30", "2.44G");
+  std::printf("  %-9s %7s %7s %9s %17s %15s\n\n", "PECAN-D", "0", "0.37G", "90.19", "1", "0.72G");
+
+  // Exact op counts from the model builders (unit-tested against Table 3/5).
+  Rng rng(s.seed);
+  auto cnn = models::make_vgg_small(models::Variant::Baseline, 10, rng);
+  auto adder = models::make_vgg_small(models::Variant::Adder, 10, rng);
+  auto pecan_d = models::make_vgg_small(models::Variant::PecanD, 10, rng);
+  const ops::OpCount cnn_ops = bench::probe_ops(*cnn, {1, 3, 32, 32});
+  const ops::OpCount adder_ops = bench::probe_ops(*adder, {1, 3, 32, 32});
+  const ops::OpCount pecan_ops = bench::probe_ops(*pecan_d, {1, 3, 32, 32});
+
+  std::string cnn_acc = "n/m", adder_acc = "N.A.", pecan_acc = "n/m";
+  if (do_train) {
+    bench::print_scale_note(s);
+    auto split = data::generate_split(data::cifar10_like_spec(), s.train_samples, s.test_samples);
+    cnn_acc = util::percent(bench::train_and_eval(*cnn, models::Variant::Baseline, split, s));
+    pecan_acc = util::percent(bench::train_and_eval(*pecan_d, models::Variant::PecanD, split, s));
+  }
+
+  const ops::EnergyModel energy;
+  auto power = [&](const ops::OpCount& ops) { return energy.normalized_power(ops, pecan_ops); };
+  auto cycles = [&](const ops::OpCount& ops) {
+    return util::human_count(energy.latency_cycles(ops), 'G');
+  };
+
+  std::printf("\nMeasured (this reproduction):\n"
+              "  %-9s %7s %7s %9s %17s %15s\n", "Method", "#Mul", "#Add", "Acc.(%)",
+              "NormalizedPower", "Latency(cycles)");
+  std::printf("  %-9s %7s %7s %9s %17.2f %15s\n", "CNN",
+              util::human_count(cnn_ops.muls, 'G').c_str(),
+              util::human_count(cnn_ops.adds, 'G').c_str(), cnn_acc.c_str(), power(cnn_ops),
+              cycles(cnn_ops).c_str());
+  std::printf("  %-9s %7s %7s %9s %17.2f %15s\n", "AdderNet", "0",
+              util::human_count(adder_ops.adds, 'G').c_str(), adder_acc.c_str(), power(adder_ops),
+              cycles(adder_ops).c_str());
+  std::printf("  %-9s %7s %7s %9s %17.2f %15s\n", "PECAN-D", "0",
+              util::human_count(pecan_ops.adds, 'G').c_str(), pecan_acc.c_str(), power(pecan_ops),
+              cycles(pecan_ops).c_str());
+
+  std::printf("\nShape checks: PECAN-D wins power (%s) and latency (%s) over both.\n",
+              power(pecan_ops) < power(adder_ops) && power(pecan_ops) < power(cnn_ops) ? "yes" : "NO",
+              energy.latency_cycles(pecan_ops) < energy.latency_cycles(adder_ops) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table A2: per-layer op counts and codebook settings (p, D, d) for the
+// modified LeNet5 on MNIST — exact analytic reproduction.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "models/lenet.hpp"
+#include "ops/complexity.hpp"
+
+using namespace pecan;
+
+namespace {
+
+struct LayerSpec {
+  const char* name;
+  ops::ConvDims dims;  // FC as k = Hout = Wout = 1
+};
+
+void print_triplet(const char* name, const ops::OpCount& ops, std::int64_t p, std::int64_t D,
+                   std::int64_t d) {
+  if (p == 0) {
+    std::printf("  %-18s %10s %10s %5s %5s %5s\n", name, util::human_count(ops.adds).c_str(),
+                util::human_count(ops.muls).c_str(), "-", "-", "-");
+  } else {
+    std::printf("  %-18s %10s %10s %5lld %5lld %5lld\n", name, util::human_count(ops.adds).c_str(),
+                util::human_count(ops.muls).c_str(), static_cast<long long>(p),
+                static_cast<long long>(D), static_cast<long long>(d));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_bench_logging();
+  util::Args args(argc, argv);
+  (void)args;
+
+  bench::print_header("Table A2 — PECAN settings of LeNet on MNIST (per layer)");
+  std::printf("  %-18s %10s %10s %5s %5s %5s\n", "Layer", "#Add", "#Mul", "p", "D", "d");
+
+  const LayerSpec layers[] = {
+      {"CONV1", {1, 8, 3, 26, 26}},
+      {"CONV2", {8, 16, 3, 11, 11}},
+      {"FC1", {400, 128, 1, 1, 1}},
+      {"FC2", {128, 64, 1, 1, 1}},
+      {"FC3", {64, 10, 1, 1, 1}},
+  };
+  const char* preset_keys[] = {"conv1", "conv2", "fc1", "fc2", "fc3"};
+
+  ops::OpCount total_base, total_a, total_d;
+  for (int i = 0; i < 5; ++i) {
+    const LayerSpec& layer = layers[i];
+    const models::PqPreset preset = models::lenet_preset(preset_keys[i]);
+    const ops::OpCount base = ops::conv_baseline(layer.dims);
+    const std::int64_t rows = layer.dims.cin * layer.dims.k * layer.dims.k;
+    const ops::PqDims qa{preset.p_angle, rows / preset.d_angle, preset.d_angle};
+    const ops::PqDims qd{preset.p_dist, rows / preset.d_dist, preset.d_dist};
+    const ops::OpCount a = ops::conv_pecan_a(layer.dims, qa);
+    const ops::OpCount d = ops::conv_pecan_d(layer.dims, qd);
+    total_base += base;
+    total_a += a;
+    total_d += d;
+    print_triplet(layer.name, base, 0, 0, 0);
+    print_triplet((std::string(layer.name) + "(PECAN-A)").c_str(), a, qa.p, qa.D, qa.d);
+    print_triplet((std::string(layer.name) + "(PECAN-D)").c_str(), d, qd.p, qd.D, qd.d);
+  }
+  std::printf("\nTotals (= Table 2): baseline %s | PECAN-A %s | PECAN-D %s, #Mul=%s\n",
+              total_base.str().c_str(), total_a.str().c_str(),
+              util::human_count(total_d.adds).c_str(), util::human_count(total_d.muls).c_str());
+  std::printf("Paper totals:        baseline 248.10K     | PECAN-A 196.88K     | PECAN-D 2.00M, #Mul=0\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table A3: prototype number / dimension settings per layer for VGG-Small
+// and ResNet20/32 on CIFAR-10, plus an audit that the resulting model
+// totals reproduce Table 3 exactly.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/introspect.hpp"
+#include "models/resnet.hpp"
+#include "models/vgg_small.hpp"
+
+using namespace pecan;
+
+namespace {
+
+void audit(const char* name, std::unique_ptr<nn::Sequential> model, char unit,
+           const char* expect_adds, const char* expect_muls) {
+  const ops::OpCount ops = bench::probe_ops(*model, {1, 3, 32, 32});
+  const std::string adds = util::human_count(ops.adds, unit);
+  const std::string muls = ops.muls == 0 ? "0" : util::human_count(ops.muls, unit);
+  std::printf("  %-20s #Add %9s (paper %9s) #Mul %9s (paper %9s) %s\n", name, adds.c_str(),
+              expect_adds, muls.c_str(), expect_muls,
+              (adds == expect_adds && muls == expect_muls) ? "OK" : "MISMATCH");
+}
+
+void show_layers(const char* title, nn::Sequential& model) {
+  std::printf("\n%s — per-layer (p, D, d):\n", title);
+  for (pq::PecanConv2d* layer : pq::collect_pecan_layers(model)) {
+    std::printf("  %-22s p=%-4lld D=%-5lld d=%-4lld (%s)\n", layer->name().c_str(),
+                static_cast<long long>(layer->config().p), static_cast<long long>(layer->groups()),
+                static_cast<long long>(layer->config().d), layer->config().mode_name().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init_bench_logging();
+  util::Args args(argc, argv);
+  const bool verbose = args.get_bool("verbose", false);
+
+  bench::print_header("Table A3 — codebook settings for VGG-Small / ResNet20/32 (CIFAR-10)");
+  std::printf("Paper settings:\n"
+              "  VGG-Small : 32x32 layers 16/9 (A) 32/3 (D); 16x16 & 8x8 layers 16/32 (A) 32/3 (D); FC 16/16 (A) 32/16 (D)\n"
+              "  ResNet20/32: conv1 8/9 (A) 128/3 (D); stage1 8/9 (A) 64/3 (D); stage2/3 8/16 (A) 64/3 (D); FC 8/16 (A) 64/4 (D)\n\n");
+
+  std::printf("Audit — model totals rebuilt from these settings must equal Table 3:\n");
+  Rng rng(1);
+  audit("VGG-Small PECAN-A", models::make_vgg_small(models::Variant::PecanA, 10, rng), 'G',
+        "0.54G", "0.54G");
+  audit("VGG-Small PECAN-D", models::make_vgg_small(models::Variant::PecanD, 10, rng), 'G',
+        "0.37G", "0");
+  audit("ResNet20 PECAN-A", models::make_resnet20(models::Variant::PecanA, 10, rng), 'M',
+        "38.12M", "38.12M");
+  audit("ResNet20 PECAN-D", models::make_resnet20(models::Variant::PecanD, 10, rng), 'M',
+        "211.71M", "0");
+  audit("ResNet32 PECAN-A", models::make_resnet32(models::Variant::PecanA, 10, rng), 'M',
+        "64.20M", "64.20M");
+  audit("ResNet32 PECAN-D", models::make_resnet32(models::Variant::PecanD, 10, rng), 'M',
+        "353.26M", "0");
+
+  if (verbose) {
+    auto vgg_a = models::make_vgg_small(models::Variant::PecanA, 10, rng);
+    show_layers("VGG-Small PECAN-A", *vgg_a);
+    auto rn_d = models::make_resnet20(models::Variant::PecanD, 10, rng);
+    show_layers("ResNet20 PECAN-D", *rn_d);
+  } else {
+    std::printf("\n(--verbose lists every layer's p/D/d)\n");
+  }
+  return 0;
+}

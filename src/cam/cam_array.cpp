@@ -1,0 +1,85 @@
+#include "cam/cam_array.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pecan::cam {
+
+CamArray::CamArray(Tensor words, SearchMetric metric)
+    : words_(std::move(words)), metric_(metric) {
+  if (words_.ndim() != 2) throw std::invalid_argument("CamArray: words must be [p, d]");
+  p_ = words_.dim(0);
+  d_ = words_.dim(1);
+  if (p_ <= 0 || d_ <= 0) throw std::invalid_argument("CamArray: empty array");
+  usage_.assign(static_cast<std::size_t>(p_), 0);
+}
+
+std::int64_t CamArray::search(const float* query, std::int64_t stride, OpCounter& counter) const {
+  ++counter.cam_searches;
+  std::int64_t best = 0;
+  if (metric_ == SearchMetric::L1BestMatch) {
+    float best_dist = std::numeric_limits<float>::max();
+    for (std::int64_t m = 0; m < p_; ++m) {
+      const float* w = words_.data() + m * d_;
+      float dist = 0.f;
+      for (std::int64_t i = 0; i < d_; ++i) dist += std::fabs(query[i * stride] - w[i]);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = m;
+      }
+    }
+    // Match-line arithmetic: per word, d subtractions + d accumulations.
+    counter.adds += static_cast<std::uint64_t>(2 * p_ * d_);
+  } else {
+    float best_score = -std::numeric_limits<float>::max();
+    for (std::int64_t m = 0; m < p_; ++m) {
+      const float* w = words_.data() + m * d_;
+      float score = 0.f;
+      for (std::int64_t i = 0; i < d_; ++i) score += query[i * stride] * w[i];
+      if (score > best_score) {
+        best_score = score;
+        best = m;
+      }
+    }
+    counter.adds += static_cast<std::uint64_t>(p_ * d_);
+    counter.muls += static_cast<std::uint64_t>(p_ * d_);
+  }
+  record_usage(best);
+  return best;
+}
+
+void CamArray::similarity_scores(const float* query, std::int64_t stride, float* scores,
+                                 OpCounter& counter) const {
+  ++counter.cam_searches;
+  for (std::int64_t m = 0; m < p_; ++m) {
+    const float* w = words_.data() + m * d_;
+    float score = 0.f;
+    for (std::int64_t i = 0; i < d_; ++i) score += query[i * stride] * w[i];
+    scores[m] = score;
+  }
+  counter.adds += static_cast<std::uint64_t>(p_ * d_);
+  counter.muls += static_cast<std::uint64_t>(p_ * d_);
+}
+
+std::vector<std::int64_t> CamArray::prune_unused() {
+  std::vector<std::int64_t> kept;
+  for (std::int64_t m = 0; m < p_; ++m) {
+    if (usage_[static_cast<std::size_t>(m)] > 0) kept.push_back(m);
+  }
+  if (kept.empty()) kept.push_back(0);  // never leave an empty array
+  Tensor compact({static_cast<std::int64_t>(kept.size()), d_});
+  std::vector<std::uint64_t> usage_compact;
+  usage_compact.reserve(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    const float* src = words_.data() + kept[i] * d_;
+    std::copy(src, src + d_, compact.data() + static_cast<std::int64_t>(i) * d_);
+    usage_compact.push_back(usage_[static_cast<std::size_t>(kept[i])]);
+  }
+  words_ = std::move(compact);
+  p_ = words_.dim(0);
+  usage_ = std::move(usage_compact);
+  return kept;
+}
+
+}  // namespace pecan::cam

@@ -1,0 +1,63 @@
+// Behavioural model of a best-match content addressable memory array.
+//
+// One CamArray holds the p prototypes of one PQ group as its stored words.
+// A search presents a query subvector on the search lines and returns the
+// index of the best-matching word:
+//   L1 metric  — analog/ternary CAM best-match (PECAN-D): the match-line
+//                discharge is proportional to the l1 mismatch, so the
+//                winner-take-all picks argmin ||q - w||_1. Costs 2*p*d adds.
+//   Dot metric — crossbar inner-product read (PECAN-A): returns all p
+//                similarity scores, p*d MACs.
+// The array also keeps a per-word usage histogram (Fig. 6) and supports
+// pruning never-used words (§5 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cam/op_counter.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pecan::cam {
+
+enum class SearchMetric { L1BestMatch, DotProduct };
+
+class CamArray {
+ public:
+  /// words: [p, d] row-major (prototype-major, as pq::Codebook stores them).
+  CamArray(Tensor words, SearchMetric metric);
+
+  std::int64_t word_count() const { return p_; }
+  std::int64_t word_dim() const { return d_; }
+  SearchMetric metric() const { return metric_; }
+  const Tensor& words() const { return words_; }
+  /// Mutable access for hardware non-ideality models (cam/nonideal.hpp).
+  Tensor& mutable_words() { return words_; }
+
+  /// Best-match search; query points at d floats with stride `stride`
+  /// between components (column access into an im2col matrix).
+  /// Increments counter.adds (L1: 2*p*d) or counter.adds/muls (dot: p*d).
+  std::int64_t search(const float* query, std::int64_t stride, OpCounter& counter) const;
+
+  /// Dot-product read of ALL match lines (PECAN-A needs the full score
+  /// vector for its softmax): scores[m] = <word_m, query>.
+  void similarity_scores(const float* query, std::int64_t stride, float* scores,
+                         OpCounter& counter) const;
+
+  /// Usage histogram maintenance (Fig. 6).
+  void record_usage(std::int64_t word) const { ++usage_[static_cast<std::size_t>(word)]; }
+  const std::vector<std::uint64_t>& usage() const { return usage_; }
+  void reset_usage() const { std::fill(usage_.begin(), usage_.end(), 0); }
+
+  /// Removes words whose usage count is zero; returns the kept->old index
+  /// map so the owner can compact its LUT rows identically (§5 pruning).
+  std::vector<std::int64_t> prune_unused();
+
+ private:
+  Tensor words_;
+  std::int64_t p_, d_;
+  SearchMetric metric_;
+  mutable std::vector<std::uint64_t> usage_;
+};
+
+}  // namespace pecan::cam

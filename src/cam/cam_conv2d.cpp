@@ -1,0 +1,176 @@
+#include "cam/cam_conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/im2col.hpp"
+#include "ops/complexity.hpp"
+#include "tensor/sgemm.hpp"
+
+namespace pecan::cam {
+
+CamConv2d::CamConv2d(const pq::PecanConv2d& trained, std::shared_ptr<OpCounter> counter)
+    : name_(trained.name() + ".cam"), cin_(trained.cin()), cout_(trained.cout()),
+      k_(trained.kernel()), stride_(trained.stride()), pad_(trained.pad()),
+      d_(trained.config().d), p_(trained.config().p), mode_(trained.config().mode),
+      temperature_(trained.config().temperature), has_bias_(trained.has_bias()),
+      bias_({cout_}), counter_(std::move(counter)) {
+  if (!counter_) throw std::invalid_argument(name_ + ": null counter");
+  set_training(false);
+  if (has_bias_) bias_ = trained.bias().value;
+
+  const auto& codebook = trained.codebook();
+  const std::int64_t D = codebook.groups();
+  const SearchMetric metric =
+      mode_ == pq::MatchMode::Distance ? SearchMetric::L1BestMatch : SearchMetric::DotProduct;
+  arrays_.reserve(static_cast<std::size_t>(D));
+  luts_.reserve(static_cast<std::size_t>(D));
+  const Tensor& weight = trained.weight().value;  // [cout, cin*k^2]
+  const std::int64_t rows = cin_ * k_ * k_;
+  for (std::int64_t j = 0; j < D; ++j) {
+    // Words of group j: [p, d] slice of the codebook.
+    Tensor words({p_, d_});
+    std::copy(codebook.prototype(j, 0), codebook.prototype(j, 0) + p_ * d_, words.data());
+    // Precompute Y(j) = W1(j) * C(j): [cout, d] block of W times [d, p].
+    // W1(j) is the column block of W covering rows j*d .. (j+1)*d.
+    Tensor table({cout_, p_});
+    for (std::int64_t c = 0; c < cout_; ++c) {
+      const float* wrow = weight.data() + c * rows + j * d_;
+      for (std::int64_t m = 0; m < p_; ++m) {
+        const float* proto = words.data() + m * d_;
+        float acc = 0.f;
+        for (std::int64_t i = 0; i < d_; ++i) acc += wrow[i] * proto[i];
+        table[c * p_ + m] = acc;
+      }
+    }
+    arrays_.emplace_back(std::move(words), metric);
+    luts_.emplace_back(std::move(table));
+  }
+}
+
+Tensor CamConv2d::forward(const Tensor& input) {
+  if (input.ndim() != 4 || input.dim(1) != cin_) {
+    throw std::invalid_argument(name_ + ": expected [N," + std::to_string(cin_) + ",H,W]");
+  }
+  const std::int64_t n = input.dim(0), hin = input.dim(2), win = input.dim(3);
+  const nn::Conv2dGeometry g{cin_, hin, win, k_, stride_, pad_};
+  const std::int64_t rows = g.rows(), len = g.cols();
+  const std::int64_t D = groups();
+  input_shape_ = input.shape();
+
+  Tensor cols({rows, len});
+  Tensor output({n, cout_, g.hout(), g.wout()});
+  std::vector<float> scores(static_cast<std::size_t>(p_));
+  std::vector<float> weights(static_cast<std::size_t>(p_));
+
+  for (std::int64_t s = 0; s < n; ++s) {
+    nn::im2col(input.data() + s * cin_ * hin * win, g, cols.data());
+    float* out_s = output.data() + s * cout_ * len;
+    if (has_bias_) {
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        for (std::int64_t l = 0; l < len; ++l) out_s[c * len + l] = bias_[c];
+      }
+    }
+    for (std::int64_t l = 0; l < len; ++l) {
+      for (std::int64_t j = 0; j < D; ++j) {
+        const float* query = cols.data() + j * d_ * len + l;
+        if (mode_ == pq::MatchMode::Distance) {
+          // Algorithm 1, lines 10-11: CAM best-match + LUT accumulate.
+          const std::int64_t hit = arrays_[static_cast<std::size_t>(j)].search(query, len, *counter_);
+          luts_[static_cast<std::size_t>(j)].accumulate(hit, out_s + l, len, *counter_);
+        } else {
+          // Algorithm 1, line 7: match-line scores -> softmax -> weighted sum.
+          arrays_[static_cast<std::size_t>(j)].similarity_scores(query, len, scores.data(),
+                                                                 *counter_);
+          float mx = scores[0];
+          std::int64_t best = 0;
+          for (std::int64_t m = 1; m < p_; ++m) {
+            if (scores[static_cast<std::size_t>(m)] > mx) {
+              mx = scores[static_cast<std::size_t>(m)];
+              best = m;
+            }
+          }
+          arrays_[static_cast<std::size_t>(j)].record_usage(best);
+          double denom = 0;
+          for (std::int64_t m = 0; m < p_; ++m) {
+            weights[static_cast<std::size_t>(m)] =
+                std::exp((scores[static_cast<std::size_t>(m)] - mx) / temperature_);
+            denom += weights[static_cast<std::size_t>(m)];
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (std::int64_t m = 0; m < p_; ++m) weights[static_cast<std::size_t>(m)] *= inv;
+          luts_[static_cast<std::size_t>(j)].weighted_accumulate(weights.data(), out_s + l, len,
+                                                                 *counter_);
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor CamConv2d::backward(const Tensor&) {
+  throw std::logic_error(name_ + ": CAM layers are inference-only");
+}
+
+ops::OpCount CamConv2d::inference_ops() const {
+  if (input_shape_.empty()) return {};
+  const nn::Conv2dGeometry g{cin_, input_shape_[2], input_shape_[3], k_, stride_, pad_};
+  const ops::ConvDims dims{cin_, cout_, k_, g.hout(), g.wout()};
+  const ops::PqDims q{p_, groups(), d_};
+  return mode_ == pq::MatchMode::Angle ? ops::conv_pecan_a(dims, q) : ops::conv_pecan_d(dims, q);
+}
+
+void CamConv2d::fold_scale_shift(const Tensor& scale, const Tensor& shift) {
+  if (scale.numel() != cout_ || shift.numel() != cout_) {
+    throw std::invalid_argument(name_ + ": fold_scale_shift size mismatch");
+  }
+  for (auto& lut : luts_) {
+    Tensor& table = lut.table();
+    const std::int64_t p = lut.entries();
+    for (std::int64_t c = 0; c < cout_; ++c) {
+      for (std::int64_t m = 0; m < p; ++m) table[c * p + m] *= scale[c];
+    }
+  }
+  for (std::int64_t c = 0; c < cout_; ++c) bias_[c] = bias_[c] * scale[c] + shift[c];
+  has_bias_ = true;
+}
+
+std::pair<std::int64_t, std::int64_t> CamConv2d::prune_unused() {
+  std::int64_t pruned = 0, total = 0;
+  for (std::size_t j = 0; j < arrays_.size(); ++j) {
+    const std::int64_t before = arrays_[j].word_count();
+    const std::vector<std::int64_t> kept = arrays_[j].prune_unused();
+    luts_[j].keep_entries(kept);
+    pruned += before - static_cast<std::int64_t>(kept.size());
+    total += before;
+  }
+  return {pruned, total};
+}
+
+void CamConv2d::reset_usage() const {
+  for (const auto& array : arrays_) array.reset_usage();
+}
+
+CamLinear::CamLinear(const pq::PecanConv2d& trained_fc_conv, std::shared_ptr<OpCounter> counter)
+    : conv_(trained_fc_conv, std::move(counter)), in_(trained_fc_conv.cin()),
+      out_(trained_fc_conv.cout()) {
+  if (trained_fc_conv.kernel() != 1) {
+    throw std::invalid_argument("CamLinear: expected a k=1 (FC) PECAN layer");
+  }
+  set_training(false);
+}
+
+Tensor CamLinear::forward(const Tensor& input) {
+  if (input.ndim() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument(name() + ": expected [N," + std::to_string(in_) + "]");
+  }
+  const std::int64_t n = input.dim(0);
+  Tensor out = conv_.forward(input.reshaped({n, in_, 1, 1}));
+  return std::move(out).reshaped({n, out_});
+}
+
+Tensor CamLinear::backward(const Tensor&) {
+  throw std::logic_error(name() + ": CAM layers are inference-only");
+}
+
+}  // namespace pecan::cam

@@ -1,0 +1,164 @@
+#include "cam/convert.hpp"
+
+#include <stdexcept>
+
+#include "core/pecan_linear.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+
+namespace pecan::cam {
+
+namespace {
+
+/// Mutable context threaded through the recursion so BatchNorm folding can
+/// reach the most recently exported foldable layer.
+struct ConvertContext {
+  std::shared_ptr<OpCounter> counter;
+  std::vector<CamConv2d*>* cam_layers = nullptr;
+  CamConv2d* last_cam = nullptr;
+  nn::Conv2d* last_conv = nullptr;
+};
+
+std::unique_ptr<nn::Module> clone_for_cam(nn::Module& module, ConvertContext& ctx);
+
+std::unique_ptr<nn::Module> clone_conv(nn::Conv2d& conv) {
+  Rng dummy(1);
+  auto clone = std::make_unique<nn::Conv2d>(conv.name(), conv.cin(), conv.cout(), conv.kernel(),
+                                            conv.stride(), conv.pad(), conv.has_bias(), dummy);
+  clone->weight().value = conv.weight().value;
+  if (conv.has_bias()) clone->bias().value = conv.bias().value;
+  clone->set_training(false);
+  return clone;
+}
+
+std::unique_ptr<nn::Module> clone_linear(nn::Linear& linear) {
+  Rng dummy(1);
+  auto clone = std::make_unique<nn::Linear>(linear.name(), linear.in_features(),
+                                            linear.out_features(), true, dummy);
+  clone->weight().value = linear.weight().value;
+  clone->bias().value = linear.bias().value;
+  clone->set_training(false);
+  return clone;
+}
+
+std::unique_ptr<nn::Module> clone_sequential(nn::Sequential& seq, ConvertContext& ctx) {
+  auto out = std::make_unique<nn::Sequential>(seq.name());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    nn::Module& child = seq.layer(i);
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&child)) {
+      // Fold into the most recent exported layer instead of keeping BN.
+      if (ctx.last_cam) {
+        ctx.last_cam->fold_scale_shift(bn->inference_scale(), bn->inference_shift());
+      } else if (ctx.last_conv) {
+        ctx.last_conv->fold_scale_shift(bn->inference_scale(), bn->inference_shift());
+      } else {
+        throw std::invalid_argument("convert_to_cam: BatchNorm '" + bn->name() +
+                                    "' has no foldable predecessor");
+      }
+      continue;
+    }
+    out->append(clone_for_cam(child, ctx));
+  }
+  out->set_training(false);
+  return out;
+}
+
+std::unique_ptr<nn::Module> clone_for_cam(nn::Module& module, ConvertContext& ctx) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&module)) return clone_sequential(*seq, ctx);
+
+  if (auto* pecan = dynamic_cast<pq::PecanConv2d*>(&module)) {
+    auto exported = std::make_unique<CamConv2d>(*pecan, ctx.counter);
+    ctx.last_cam = exported.get();
+    ctx.last_conv = nullptr;
+    ctx.cam_layers->push_back(exported.get());
+    return exported;
+  }
+  if (auto* pecan_fc = dynamic_cast<pq::PecanLinear*>(&module)) {
+    auto exported = std::make_unique<CamLinear>(pecan_fc->conv(), ctx.counter);
+    ctx.last_cam = &exported->conv();
+    ctx.last_conv = nullptr;
+    ctx.cam_layers->push_back(&exported->conv());
+    return exported;
+  }
+  if (auto* conv = dynamic_cast<nn::Conv2d*>(&module)) {
+    auto clone = clone_conv(*conv);
+    ctx.last_conv = static_cast<nn::Conv2d*>(clone.get());
+    ctx.last_cam = nullptr;
+    return clone;
+  }
+  if (auto* linear = dynamic_cast<nn::Linear*>(&module)) {
+    ctx.last_cam = nullptr;
+    ctx.last_conv = nullptr;
+    return clone_linear(*linear);
+  }
+  if (auto* residual = dynamic_cast<nn::Residual*>(&module)) {
+    // Branches reset the fold target: a BN at a residual output would be
+    // ambiguous, and none of our models place one there.
+    ConvertContext main_ctx{ctx.counter, ctx.cam_layers, nullptr, nullptr};
+    auto main_clone = clone_for_cam(residual->main(), main_ctx);
+    ConvertContext short_ctx{ctx.counter, ctx.cam_layers, nullptr, nullptr};
+    auto short_clone = clone_for_cam(residual->shortcut(), short_ctx);
+    ctx.last_cam = nullptr;
+    ctx.last_conv = nullptr;
+    auto out = std::make_unique<nn::Residual>(residual->name(), std::move(main_clone),
+                                              std::move(short_clone), residual->relu_after());
+    out->set_training(false);
+    return out;
+  }
+  if (auto* relu = dynamic_cast<nn::ReLU*>(&module)) {
+    auto clone = std::make_unique<nn::ReLU>(relu->name());
+    clone->set_training(false);
+    return clone;
+  }
+  if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&module)) {
+    auto clone = std::make_unique<nn::MaxPool2d>(pool->name(), pool->kernel(), pool->stride());
+    clone->set_training(false);
+    return clone;
+  }
+  if (auto* gap = dynamic_cast<nn::GlobalAvgPool*>(&module)) {
+    return std::make_unique<nn::GlobalAvgPool>(gap->name());
+  }
+  if (auto* flatten = dynamic_cast<nn::Flatten*>(&module)) {
+    return std::make_unique<nn::Flatten>(flatten->name());
+  }
+  if (auto* shortcut = dynamic_cast<nn::OptionAShortcut*>(&module)) {
+    return std::make_unique<nn::OptionAShortcut>(shortcut->name(), shortcut->cin(),
+                                                 shortcut->cout(), shortcut->stride());
+  }
+  if (auto* identity = dynamic_cast<nn::Identity*>(&module)) {
+    return std::make_unique<nn::Identity>(identity->name());
+  }
+  throw std::invalid_argument("convert_to_cam: no CAM realization for layer '" + module.name() +
+                              "'");
+}
+
+}  // namespace
+
+std::pair<std::int64_t, std::int64_t> CamNetworkExport::prune_unused() {
+  std::int64_t pruned = 0, total = 0;
+  for (CamConv2d* layer : cam_layers) {
+    const auto [p, t] = layer->prune_unused();
+    pruned += p;
+    total += t;
+  }
+  return {pruned, total};
+}
+
+void CamNetworkExport::reset_usage() const {
+  for (CamConv2d* layer : cam_layers) layer->reset_usage();
+}
+
+CamNetworkExport convert_to_cam(nn::Module& trained) {
+  CamNetworkExport result;
+  result.counter = std::make_shared<OpCounter>();
+  ConvertContext ctx{result.counter, &result.cam_layers, nullptr, nullptr};
+  result.net = clone_for_cam(trained, ctx);
+  result.net->set_training(false);
+  return result;
+}
+
+}  // namespace pecan::cam

@@ -1,0 +1,35 @@
+// Export of a trained PECAN network into its CAM inference form.
+//
+// convert_to_cam() walks a trained model recursively and rebuilds the same
+// topology where every PECAN layer is replaced by its CAM + LUT realization
+// (CamConv2d / CamLinear), BatchNorm layers are folded into the preceding
+// exported layer (the paper folds BN at inference), and stateless layers
+// (ReLU, pooling, flatten, option-A shortcuts) are cloned. All exported
+// layers share one OpCounter, so after a forward pass the dynamic #Add/#Mul
+// of the whole network is available — for PECAN-D, counter.muls == 0 is a
+// tested invariant ("truly multiplier-free DNN").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cam/cam_conv2d.hpp"
+#include "nn/module.hpp"
+
+namespace pecan::cam {
+
+struct CamNetworkExport {
+  std::unique_ptr<nn::Module> net;
+  std::shared_ptr<OpCounter> counter;
+  std::vector<CamConv2d*> cam_layers;  ///< borrow, in network order
+
+  /// §5 pruning over the whole network; returns (pruned, total) prototypes.
+  std::pair<std::int64_t, std::int64_t> prune_unused();
+  void reset_usage() const;
+};
+
+/// Throws std::invalid_argument on layer types that have no CAM realization
+/// (e.g. AdderConv2d) or on a BatchNorm with no foldable predecessor.
+CamNetworkExport convert_to_cam(nn::Module& trained);
+
+}  // namespace pecan::cam

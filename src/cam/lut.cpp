@@ -1,0 +1,48 @@
+#include "cam/lut.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace pecan::cam {
+
+LutMemory::LutMemory(Tensor table) : table_(std::move(table)) {
+  if (table_.ndim() != 2) throw std::invalid_argument("LutMemory: table must be [cout, p]");
+  cout_ = table_.dim(0);
+  p_ = table_.dim(1);
+}
+
+void LutMemory::accumulate(std::int64_t k, float* out, std::int64_t out_stride,
+                           OpCounter& counter) const {
+  if (k < 0 || k >= p_) throw std::out_of_range("LutMemory: entry out of range");
+  const float* col = table_.data() + k;
+  for (std::int64_t c = 0; c < cout_; ++c) out[c * out_stride] += col[c * p_];
+  counter.adds += static_cast<std::uint64_t>(cout_);
+  ++counter.lut_reads;
+}
+
+void LutMemory::weighted_accumulate(const float* weights, float* out, std::int64_t out_stride,
+                                    OpCounter& counter) const {
+  for (std::int64_t c = 0; c < cout_; ++c) {
+    const float* row = table_.data() + c * p_;
+    float acc = 0.f;
+    for (std::int64_t m = 0; m < p_; ++m) acc += weights[m] * row[m];
+    out[c * out_stride] += acc;
+  }
+  counter.adds += static_cast<std::uint64_t>(cout_ * p_);
+  counter.muls += static_cast<std::uint64_t>(cout_ * p_);
+  ++counter.lut_reads;
+}
+
+void LutMemory::keep_entries(const std::vector<std::int64_t>& kept) {
+  Tensor compact({cout_, static_cast<std::int64_t>(kept.size())});
+  for (std::int64_t c = 0; c < cout_; ++c) {
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      compact[c * static_cast<std::int64_t>(kept.size()) + static_cast<std::int64_t>(i)] =
+          table_[c * p_ + kept[i]];
+    }
+  }
+  table_ = std::move(compact);
+  p_ = table_.dim(1);
+}
+
+}  // namespace pecan::cam

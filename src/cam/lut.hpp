@@ -1,0 +1,43 @@
+// Lookup-table memory: the precomputed products of Algorithm 1, line 3.
+//
+// For group j, the table stores Y(j) = W1(j) * C1(j) in R^{cout x p}:
+// column m is the contribution of prototype m to every output channel.
+// At inference a CAM hit k fetches column k and accumulates it into the
+// output (cout adds) — no multiplication (PECAN-D) or a p-wide weighted
+// sum (PECAN-A).
+#pragma once
+
+#include <cstdint>
+
+#include "cam/op_counter.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pecan::cam {
+
+class LutMemory {
+ public:
+  /// table: [cout, p]. Built by the exporter from W and the codebook.
+  explicit LutMemory(Tensor table);
+
+  std::int64_t cout() const { return cout_; }
+  std::int64_t entries() const { return p_; }
+  const Tensor& table() const { return table_; }
+  Tensor& table() { return table_; }
+
+  /// PECAN-D accumulate: out[c] += table[c, k] for all c (cout adds).
+  void accumulate(std::int64_t k, float* out, std::int64_t out_stride, OpCounter& counter) const;
+
+  /// PECAN-A weighted accumulate: out[c] += sum_m weights[m] * table[c, m]
+  /// (p*cout muls + p*cout adds).
+  void weighted_accumulate(const float* weights, float* out, std::int64_t out_stride,
+                           OpCounter& counter) const;
+
+  /// Keeps only the listed columns (paired with CamArray::prune_unused).
+  void keep_entries(const std::vector<std::int64_t>& kept);
+
+ private:
+  Tensor table_;
+  std::int64_t cout_, p_;
+};
+
+}  // namespace pecan::cam

@@ -1,0 +1,65 @@
+#include "cam/nonideal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pecan::cam {
+
+namespace {
+
+/// Symmetric per-tensor fake quantization to (2^bits - 1) signed levels.
+void fake_quantize(Tensor& values, std::int64_t levels, QuantizationReport& report) {
+  float max_abs = 0.f;
+  for (std::int64_t i = 0; i < values.numel(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(values[i]));
+  }
+  if (max_abs == 0.f) {
+    ++report.tensors;
+    return;  // all-zero tensor quantizes exactly
+  }
+  const float half_levels = static_cast<float>(levels / 2);
+  const float scale = max_abs / half_levels;
+  double err_sum = 0;
+  for (std::int64_t i = 0; i < values.numel(); ++i) {
+    const float q = std::round(values[i] / scale) * scale;
+    const double err = std::fabs(q - values[i]);
+    report.max_abs_error = std::max(report.max_abs_error, err);
+    err_sum += err;
+    values[i] = q;
+  }
+  // Running mean across tensors, weighted by element count via simple
+  // accumulation (report.mean_abs_error holds the sum until finalized by
+  // the caller; we normalize per tensor here to keep the API simple).
+  report.mean_abs_error += err_sum / static_cast<double>(values.numel());
+  ++report.tensors;
+}
+
+}  // namespace
+
+QuantizationReport quantize_to_intn(CamConv2d& layer, int bits) {
+  if (bits < 2 || bits > 16) throw std::invalid_argument("quantize_to_intn: bits must be in [2,16]");
+  QuantizationReport report;
+  report.levels = (1LL << bits) - 1;
+  for (std::int64_t j = 0; j < layer.groups(); ++j) {
+    fake_quantize(layer.array(j).mutable_words(), report.levels, report);
+    fake_quantize(layer.lut(j).table(), report.levels, report);
+  }
+  if (report.tensors > 0) report.mean_abs_error /= static_cast<double>(report.tensors);
+  return report;
+}
+
+QuantizationReport quantize_to_intn(CamNetworkExport& network, int bits) {
+  QuantizationReport total;
+  total.levels = (1LL << bits) - 1;
+  double mean_acc = 0;
+  for (CamConv2d* layer : network.cam_layers) {
+    const QuantizationReport r = quantize_to_intn(*layer, bits);
+    total.tensors += r.tensors;
+    total.max_abs_error = std::max(total.max_abs_error, r.max_abs_error);
+    mean_acc += r.mean_abs_error * static_cast<double>(r.tensors);
+  }
+  if (total.tensors > 0) total.mean_abs_error = mean_acc / static_cast<double>(total.tensors);
+  return total;
+}
+
+}  // namespace pecan::cam

@@ -1,0 +1,39 @@
+// Hardware non-ideality models for the CAM simulator.
+//
+// The paper positions PECAN for RRAM-crossbar / analog-CAM deployment.
+// Physical CAMs are not exact: stored conductances quantize to a few bits
+// and match-line currents carry device noise. This module models both so a
+// deployment study can ask "how many bits / how much noise can the network
+// tolerate?" — the natural hardware question behind the paper's §1 claims.
+//
+//   * quantize_to_intn: symmetric per-array uniform quantization of the
+//     CAM words and LUT tables to n-bit integers (dequantized back to the
+//     float grid, i.e. "fake quantization" — values sit exactly on the
+//     2^n-1 levels a memristive cell can hold).
+//   * MatchlineNoise: additive Gaussian perturbation of the match-line
+//     distance/score at search time, relative to the score magnitude.
+#pragma once
+
+#include <cstdint>
+
+#include "cam/cam_conv2d.hpp"
+#include "cam/convert.hpp"
+#include "tensor/rng.hpp"
+
+namespace pecan::cam {
+
+struct QuantizationReport {
+  std::int64_t tensors = 0;        ///< arrays + tables quantized
+  double max_abs_error = 0;        ///< worst absolute rounding error
+  double mean_abs_error = 0;       ///< mean absolute rounding error
+  std::int64_t levels = 0;         ///< 2^bits - 1
+};
+
+/// Fake-quantizes every CAM word and LUT entry of `layer` to `bits` bits
+/// (symmetric, per-array scale). Returns rounding-error statistics.
+QuantizationReport quantize_to_intn(CamConv2d& layer, int bits);
+
+/// Whole-network variant.
+QuantizationReport quantize_to_intn(CamNetworkExport& network, int bits);
+
+}  // namespace pecan::cam

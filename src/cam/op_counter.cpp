@@ -1,0 +1,3 @@
+#include "cam/op_counter.hpp"
+
+// Counter is a plain aggregate; TU anchors the library target.

@@ -1,0 +1,28 @@
+// Dynamic operation counter shared by all CAM layers of one network.
+//
+// Counts are incremented at the arithmetic call sites of the simulated
+// hardware (CAM search = the subtract/accumulate of the match lines;
+// LUT accumulate = the adder tree behind the memory). The paper's
+// convention is followed: only the two inference stages of Algorithm 1 are
+// counted — softmax exponentials, ReLU/pool comparisons, bias adds, and
+// residual adds are excluded, exactly as Tables 1-5 exclude them.
+#pragma once
+
+#include <cstdint>
+
+#include "ops/op_count.hpp"
+
+namespace pecan::cam {
+
+struct OpCounter {
+  std::uint64_t adds = 0;
+  std::uint64_t muls = 0;
+  std::uint64_t cam_searches = 0;  ///< best-match queries issued
+  std::uint64_t lut_reads = 0;     ///< rows fetched from lookup tables
+
+  void reset() { *this = OpCounter{}; }
+
+  ops::OpCount arithmetic() const { return {adds, muls}; }
+};
+
+}  // namespace pecan::cam

@@ -1,0 +1,50 @@
+// Codebook storage and k-means initialization.
+//
+// Prototypes are stored prototype-major: value shape [D, p, d], i.e.
+// group j, prototype m is the contiguous slice value[j, m, :] — this makes
+// the l1-distance scans of PECAN-D cache-friendly. The paper's C^(j) in
+// R^{d x p} is the transpose of our per-group block.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace pecan::pq {
+
+class Codebook {
+ public:
+  /// Random-normal initialization (training from scratch / co-optimization).
+  Codebook(std::string name, std::int64_t groups, std::int64_t p, std::int64_t d, Rng& rng);
+
+  std::int64_t groups() const { return groups_; }
+  std::int64_t prototypes() const { return p_; }
+  std::int64_t dim() const { return d_; }
+
+  nn::Parameter& parameter() { return param_; }
+  const nn::Parameter& parameter() const { return param_; }
+
+  /// Pointer to prototype m of group j (d floats).
+  float* prototype(std::int64_t j, std::int64_t m) {
+    return param_.value.data() + (j * p_ + m) * d_;
+  }
+  const float* prototype(std::int64_t j, std::int64_t m) const {
+    return param_.value.data() + (j * p_ + m) * d_;
+  }
+  float* grad(std::int64_t j, std::int64_t m) { return param_.grad.data() + (j * p_ + m) * d_; }
+
+  /// Lloyd's k-means (k-means++ seeding) per group over the columns of a
+  /// stacked im2col sample matrix X [groups*d, L]: the classic PQ codebook
+  /// construction of Jegou et al., used for uni-optimization warm starts.
+  /// `iterations` Lloyd rounds; empty clusters are reseeded from the data.
+  void kmeans_init(const Tensor& stacked_subvectors, std::int64_t iterations, Rng& rng);
+
+ private:
+  std::string name_;
+  std::int64_t groups_, p_, d_;
+  nn::Parameter param_;
+};
+
+}  // namespace pecan::pq

@@ -1,0 +1,30 @@
+// Model walking utilities: finding PECAN layers inside nested containers,
+// k-means calibration of codebooks from real activations (the classic PQ
+// construction, used by uni-optimization), and partial state transfer from
+// a pretrained baseline CNN into a PECAN model (§4.4.2).
+#pragma once
+
+#include <vector>
+
+#include "core/pecan_conv2d.hpp"
+#include "nn/module.hpp"
+#include "tensor/serialize.hpp"
+
+namespace pecan::pq {
+
+/// All PecanConv2d layers (including those inside PecanLinear wrappers,
+/// Sequential and Residual containers), in execution order.
+std::vector<PecanConv2d*> collect_pecan_layers(nn::Module& model);
+
+/// Runs `batch` through the model layer by layer; every PECAN layer's
+/// codebook is k-means-fitted on the im2col subvectors of ITS OWN input
+/// activations before the layer executes. Model is left in eval mode.
+void kmeans_calibrate(nn::Module& model, const Tensor& batch, std::int64_t iterations, Rng& rng);
+
+/// Copies every tensor in `src` whose name and shape match a parameter of
+/// `dst`; returns the number of parameters loaded. Used to warm-start a
+/// PECAN model from a pretrained baseline checkpoint (codebooks and other
+/// PECAN-only parameters are simply absent from the source and untouched).
+std::int64_t load_matching(nn::Module& dst, const TensorMap& src);
+
+}  // namespace pecan::pq

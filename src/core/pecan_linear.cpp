@@ -1,0 +1,34 @@
+#include "core/pecan_linear.hpp"
+
+#include <stdexcept>
+
+namespace pecan::pq {
+
+PecanLinear::PecanLinear(std::string name, std::int64_t in_features, std::int64_t out_features,
+                         bool bias, PqLayerConfig config, Rng& rng)
+    : in_(in_features), out_(out_features),
+      conv_(std::move(name), in_features, out_features, /*k=*/1, /*stride=*/1, /*pad=*/0, bias,
+            config, rng) {}
+
+Tensor PecanLinear::forward(const Tensor& input) {
+  if (input.ndim() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument(name() + ": expected [N," + std::to_string(in_) + "], got " +
+                                shape_str(input.shape()));
+  }
+  const std::int64_t n = input.dim(0);
+  Tensor out = conv_.forward(input.reshaped({n, in_, 1, 1}));
+  return std::move(out).reshaped({n, out_});
+}
+
+Tensor PecanLinear::backward(const Tensor& grad_output) {
+  const std::int64_t n = grad_output.dim(0);
+  Tensor grad = conv_.backward(grad_output.reshaped({n, out_, 1, 1}));
+  return std::move(grad).reshaped({n, in_});
+}
+
+void PecanLinear::set_training(bool training) {
+  Module::set_training(training);
+  conv_.set_training(training);
+}
+
+}  // namespace pecan::pq

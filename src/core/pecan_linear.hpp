@@ -1,0 +1,36 @@
+// PecanLinear — the fully-connected PECAN layer.
+//
+// The paper treats FC as the k = Hout = Wout = 1 special case of a
+// convolution; this adapter reshapes [N, F] activations to [N, F, 1, 1]
+// and delegates to PecanConv2d so the matching/STE/lookup code has a
+// single implementation.
+#pragma once
+
+#include "core/pecan_conv2d.hpp"
+
+namespace pecan::pq {
+
+class PecanLinear : public nn::Module {
+ public:
+  PecanLinear(std::string name, std::int64_t in_features, std::int64_t out_features, bool bias,
+              PqLayerConfig config, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;   ///< [N, in] -> [N, out]
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override { return conv_.parameters(); }
+  std::string name() const override { return conv_.name(); }
+  void set_training(bool training) override;
+  void set_epoch_progress(double progress) override { conv_.set_epoch_progress(progress); }
+  ops::OpCount inference_ops() const override { return conv_.inference_ops(); }
+
+  PecanConv2d& conv() { return conv_; }
+  const PecanConv2d& conv() const { return conv_; }
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  PecanConv2d conv_;
+};
+
+}  // namespace pecan::pq

@@ -1,0 +1,17 @@
+#include "core/pq_config.hpp"
+
+#include <stdexcept>
+
+namespace pecan::pq {
+
+std::int64_t derive_groups(std::int64_t cin, std::int64_t k, std::int64_t d) {
+  if (cin <= 0 || k <= 0 || d <= 0) throw std::invalid_argument("derive_groups: bad dims");
+  const std::int64_t rows = cin * k * k;
+  if (rows % d != 0) {
+    throw std::invalid_argument("derive_groups: d=" + std::to_string(d) +
+                                " does not divide cin*k^2=" + std::to_string(rows));
+  }
+  return rows / d;
+}
+
+}  // namespace pecan::pq

@@ -1,0 +1,37 @@
+// Configuration of a PECAN product-quantized layer.
+//
+// A layer's im2col matrix X in R^{cin*k^2 x HoutWout} is split row-wise
+// into D groups of dimension d (D*d = cin*k^2); each group owns a codebook
+// of p prototypes. MatchMode selects the paper's two similarity schemes:
+//   Angle    — PECAN-A, softmax dot-product attention (Eq. 2)
+//   Distance — PECAN-D, hard argmax of -l1 distance with STE training
+//              (Eq. 3-6); zero multiplications at inference
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pecan::pq {
+
+enum class MatchMode { Angle, Distance };
+
+/// Backward surrogate for the sign gradient of the l1 distance (PECAN-D).
+///   EpochTanh — paper Eq. (6): tanh(a(X - C)), a = exp(4e/E)
+///   Hard      — raw sign function (ablation: shows why Eq. 6 is needed)
+///   Identity  — pretend d|X-C|/dC = 1 (straight-through ablation)
+enum class SignSurrogate { EpochTanh, Hard, Identity };
+
+struct PqLayerConfig {
+  std::int64_t p = 16;   ///< prototypes per codebook
+  std::int64_t d = 9;    ///< subvector dimension; D = cin*k^2 / d
+  MatchMode mode = MatchMode::Angle;
+  float temperature = 1.f;  ///< tau: 1 for PECAN-A, 0.5 for PECAN-D (paper)
+  SignSurrogate surrogate = SignSurrogate::EpochTanh;
+
+  std::string mode_name() const { return mode == MatchMode::Angle ? "PECAN-A" : "PECAN-D"; }
+};
+
+/// Derives D from cin*k^2 and validates divisibility (throws otherwise).
+std::int64_t derive_groups(std::int64_t cin, std::int64_t k, std::int64_t d);
+
+}  // namespace pecan::pq

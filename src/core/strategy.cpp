@@ -1,0 +1,44 @@
+#include "core/strategy.hpp"
+
+namespace pecan::pq {
+
+namespace {
+constexpr const char kSuffix[] = ".codebook";
+}
+
+bool is_codebook_parameter(const nn::Parameter& param) {
+  const std::string& name = param.name;
+  const std::size_t len = sizeof(kSuffix) - 1;
+  return name.size() >= len && name.compare(name.size() - len, len, kSuffix) == 0;
+}
+
+void apply_strategy(nn::Module& model, TrainingStrategy strategy) {
+  for (nn::Parameter* p : model.parameters()) {
+    p->trainable = strategy == TrainingStrategy::CoOptimize || is_codebook_parameter(*p);
+  }
+}
+
+std::vector<nn::Parameter*> trainable_parameters(nn::Module& model, TrainingStrategy strategy) {
+  apply_strategy(model, strategy);
+  std::vector<nn::Parameter*> out;
+  for (nn::Parameter* p : model.parameters()) {
+    if (p->trainable) out.push_back(p);
+  }
+  return out;
+}
+
+ParameterCensus census(nn::Module& model) {
+  ParameterCensus c;
+  for (nn::Parameter* p : model.parameters()) {
+    if (is_codebook_parameter(*p)) {
+      ++c.codebook_tensors;
+      c.codebook_scalars += p->value.numel();
+    } else {
+      ++c.other_tensors;
+      c.other_scalars += p->value.numel();
+    }
+  }
+  return c;
+}
+
+}  // namespace pecan::pq

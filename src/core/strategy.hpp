@@ -1,0 +1,37 @@
+// Training strategies (§4.4.2, Table 6):
+//   co-optimization  — weights and prototypes both learn, from scratch
+//   uni-optimization — weights frozen (e.g. from a pretrained CNN), only
+//                      the codebooks learn
+//
+// The split relies on the repo-wide naming convention that every codebook
+// parameter is named "<layer>.codebook" (see pq::Codebook).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace pecan::pq {
+
+enum class TrainingStrategy { CoOptimize, UniOptimize };
+
+/// True for parameters created by pq::Codebook.
+bool is_codebook_parameter(const nn::Parameter& param);
+
+/// Applies a strategy: UniOptimize freezes every non-codebook parameter,
+/// CoOptimize unfreezes everything.
+void apply_strategy(nn::Module& model, TrainingStrategy strategy);
+
+/// The trainable subset under a strategy (what the optimizer should hold).
+std::vector<nn::Parameter*> trainable_parameters(nn::Module& model, TrainingStrategy strategy);
+
+/// Counts of (codebook, other) parameters — used in logs and tests.
+struct ParameterCensus {
+  std::int64_t codebook_tensors = 0;
+  std::int64_t codebook_scalars = 0;
+  std::int64_t other_tensors = 0;
+  std::int64_t other_scalars = 0;
+};
+ParameterCensus census(nn::Module& model);
+
+}  // namespace pecan::pq

@@ -1,0 +1,63 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pecan::data {
+
+ChannelStats compute_channel_stats(const Tensor& images) {
+  if (images.ndim() != 4) throw std::invalid_argument("compute_channel_stats: need NCHW");
+  const std::int64_t n = images.dim(0), c = images.dim(1), hw = images.dim(2) * images.dim(3);
+  ChannelStats stats;
+  stats.mean.assign(static_cast<std::size_t>(c), 0.f);
+  stats.stddev.assign(static_cast<std::size_t>(c), 0.f);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double sum = 0, sq = 0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* plane = images.data() + (s * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum += plane[i];
+        sq += static_cast<double>(plane[i]) * plane[i];
+      }
+    }
+    const double count = static_cast<double>(n * hw);
+    const double mean = sum / count;
+    const double var = std::max(0.0, sq / count - mean * mean);
+    stats.mean[static_cast<std::size_t>(ch)] = static_cast<float>(mean);
+    stats.stddev[static_cast<std::size_t>(ch)] = static_cast<float>(std::sqrt(var));
+  }
+  return stats;
+}
+
+void normalize_(Tensor& images, const ChannelStats& stats) {
+  if (images.ndim() != 4) throw std::invalid_argument("normalize_: need NCHW");
+  const std::int64_t n = images.dim(0), c = images.dim(1), hw = images.dim(2) * images.dim(3);
+  if (static_cast<std::int64_t>(stats.mean.size()) != c) {
+    throw std::invalid_argument("normalize_: channel count mismatch");
+  }
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float mean = stats.mean[static_cast<std::size_t>(ch)];
+    float sd = stats.stddev[static_cast<std::size_t>(ch)];
+    if (sd <= 0.f) sd = 1.f;
+    const float inv = 1.f / sd;
+    for (std::int64_t s = 0; s < n; ++s) {
+      float* plane = images.data() + (s * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = (plane[i] - mean) * inv;
+    }
+  }
+}
+
+LabeledData take(const LabeledData& dataset, std::int64_t count) {
+  if (count > dataset.size()) throw std::invalid_argument("take: count exceeds dataset size");
+  const std::int64_t sample = dataset.images.numel() / dataset.size();
+  Shape shape = dataset.images.shape();
+  shape[0] = count;
+  LabeledData out;
+  out.num_classes = dataset.num_classes;
+  out.images = Tensor(shape);
+  std::copy(dataset.images.data(), dataset.images.data() + count * sample, out.images.data());
+  out.labels.assign(dataset.labels.begin(), dataset.labels.begin() + count);
+  return out;
+}
+
+}  // namespace pecan::data

@@ -1,0 +1,33 @@
+// In-memory labeled dataset container + normalization helpers.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pecan::data {
+
+/// Images in NCHW, labels[i] in [0, num_classes).
+struct LabeledData {
+  Tensor images;
+  std::vector<std::int64_t> labels;
+  std::int64_t num_classes = 0;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Per-channel mean/std computed over a dataset.
+struct ChannelStats {
+  std::vector<float> mean;
+  std::vector<float> stddev;
+};
+
+ChannelStats compute_channel_stats(const Tensor& images);
+
+/// In-place (x - mean) / std per channel. A std of 0 is clamped to 1.
+void normalize_(Tensor& images, const ChannelStats& stats);
+
+/// Splits off the first `count` samples (deterministic; shuffle upstream).
+LabeledData take(const LabeledData& dataset, std::int64_t count);
+
+}  // namespace pecan::data

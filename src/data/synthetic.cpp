@@ -1,0 +1,212 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace pecan::data {
+
+namespace {
+
+/// Deterministic per-class template: sum of strokes, blobs, and gratings
+/// rendered into [channels, height, width].
+class ClassTemplate {
+ public:
+  ClassTemplate(const SyntheticSpec& spec, std::int64_t class_id)
+      : spec_(spec), image_({spec.channels, spec.height, spec.width}) {
+    Rng rng(spec.seed * 0x100000001B3ull + static_cast<std::uint64_t>(class_id) + 1);
+    render(rng);
+  }
+
+  const Tensor& image() const { return image_; }
+
+ private:
+  void render(Rng& rng) {
+    const auto h = static_cast<float>(spec_.height), w = static_cast<float>(spec_.width);
+    // Strokes: 2-4 oriented line segments with Gaussian cross-section.
+    const std::int64_t strokes = 2 + rng.index(3);
+    for (std::int64_t s = 0; s < strokes; ++s) {
+      add_stroke(rng.uniform(0.15f * w, 0.85f * w), rng.uniform(0.15f * h, 0.85f * h),
+                 rng.uniform(0.f, std::numbers::pi_v<float>),
+                 rng.uniform(0.25f * std::min(h, w), 0.5f * std::min(h, w)),
+                 rng.uniform(0.8f, 1.6f), pick_channel_weights(rng));
+    }
+    // Blobs: 1-3 Gaussian bumps.
+    const std::int64_t blobs = 1 + rng.index(3);
+    for (std::int64_t b = 0; b < blobs; ++b) {
+      add_blob(rng.uniform(0.2f * w, 0.8f * w), rng.uniform(0.2f * h, 0.8f * h),
+               rng.uniform(1.5f, 4.f), rng.uniform(0.5f, 1.2f), pick_channel_weights(rng));
+    }
+    // Gratings (color textures; dominant for the CIFAR-like specs).
+    if (spec_.channels > 1) {
+      const std::int64_t gratings = 1 + rng.index(2);
+      for (std::int64_t g = 0; g < gratings; ++g) {
+        add_grating(rng.uniform(0.2f, 0.9f), rng.uniform(0.f, std::numbers::pi_v<float>),
+                    rng.uniform(0.f, 2.f * std::numbers::pi_v<float>), rng.uniform(0.2f, 0.5f),
+                    pick_channel_weights(rng));
+      }
+    }
+  }
+
+  std::vector<float> pick_channel_weights(Rng& rng) {
+    std::vector<float> weights(static_cast<std::size_t>(spec_.channels));
+    for (auto& v : weights) v = rng.uniform(0.2f, 1.f);
+    return weights;
+  }
+
+  void splat(std::int64_t x, std::int64_t y, float value, const std::vector<float>& cw) {
+    if (x < 0 || x >= spec_.width || y < 0 || y >= spec_.height) return;
+    for (std::int64_t c = 0; c < spec_.channels; ++c) {
+      float& px = image_.at({c, y, x});
+      px += value * cw[static_cast<std::size_t>(c)];
+    }
+  }
+
+  void add_stroke(float cx, float cy, float angle, float len, float amp,
+                  const std::vector<float>& cw) {
+    const float dx = std::cos(angle), dy = std::sin(angle);
+    const std::int64_t steps = static_cast<std::int64_t>(len * 2);
+    for (std::int64_t t = -steps; t <= steps; ++t) {
+      const float ft = static_cast<float>(t) / 2.f;
+      if (std::fabs(ft) > len / 2) continue;
+      const float px = cx + ft * dx, py = cy + ft * dy;
+      for (std::int64_t oy = -1; oy <= 1; ++oy) {
+        for (std::int64_t ox = -1; ox <= 1; ++ox) {
+          const float d2 = static_cast<float>(ox * ox + oy * oy);
+          splat(static_cast<std::int64_t>(px) + ox, static_cast<std::int64_t>(py) + oy,
+                amp * std::exp(-d2 / 1.5f) / 3.f, cw);
+        }
+      }
+    }
+  }
+
+  void add_blob(float cx, float cy, float sigma, float amp, const std::vector<float>& cw) {
+    const std::int64_t radius = static_cast<std::int64_t>(3 * sigma) + 1;
+    for (std::int64_t oy = -radius; oy <= radius; ++oy) {
+      for (std::int64_t ox = -radius; ox <= radius; ++ox) {
+        const float d2 = static_cast<float>(ox * ox + oy * oy);
+        splat(static_cast<std::int64_t>(cx) + ox, static_cast<std::int64_t>(cy) + oy,
+              amp * std::exp(-d2 / (2 * sigma * sigma)), cw);
+      }
+    }
+  }
+
+  void add_grating(float freq, float angle, float phase, float amp,
+                   const std::vector<float>& cw) {
+    const float kx = freq * std::cos(angle), ky = freq * std::sin(angle);
+    for (std::int64_t y = 0; y < spec_.height; ++y) {
+      for (std::int64_t x = 0; x < spec_.width; ++x) {
+        const float v =
+            amp * (0.5f + 0.5f * std::sin(kx * static_cast<float>(x) + ky * static_cast<float>(y) + phase));
+        for (std::int64_t c = 0; c < spec_.channels; ++c) {
+          image_.at({c, y, x}) += v * cw[static_cast<std::size_t>(c)];
+        }
+      }
+    }
+  }
+
+  const SyntheticSpec& spec_;
+  Tensor image_;
+};
+
+void render_sample(const SyntheticSpec& spec, const Tensor& tmpl, Rng& rng, float* out) {
+  const std::int64_t h = spec.height, w = spec.width, c = spec.channels;
+  const std::int64_t shift_y = spec.max_shift > 0 ? rng.index(2 * spec.max_shift + 1) - spec.max_shift : 0;
+  const std::int64_t shift_x = spec.max_shift > 0 ? rng.index(2 * spec.max_shift + 1) - spec.max_shift : 0;
+  const float amp = 1.f + spec.amplitude_jitter * (2.f * rng.uniform() - 1.f);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t sy = y - shift_y, sx = x - shift_x;
+        float v = 0.f;
+        if (sy >= 0 && sy < h && sx >= 0 && sx < w) v = tmpl.at({ch, sy, sx});
+        v = amp * v + spec.noise_stddev * rng.normal();
+        out[(ch * h + y) * w + x] = v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticSpec mnist_like_spec() {
+  SyntheticSpec spec;
+  spec.channels = 1;
+  spec.height = spec.width = 28;
+  spec.num_classes = 10;
+  spec.noise_stddev = 0.25f;
+  spec.seed = 2023;
+  return spec;
+}
+
+SyntheticSpec cifar10_like_spec() {
+  SyntheticSpec spec;
+  spec.channels = 3;
+  spec.height = spec.width = 32;
+  spec.num_classes = 10;
+  spec.noise_stddev = 0.35f;
+  spec.max_shift = 3;
+  spec.seed = 3023;
+  return spec;
+}
+
+SyntheticSpec cifar100_like_spec() {
+  SyntheticSpec spec = cifar10_like_spec();
+  spec.num_classes = 100;
+  spec.seed = 4023;
+  return spec;
+}
+
+SyntheticSpec tiny_imagenet_like_spec(std::int64_t num_classes) {
+  SyntheticSpec spec;
+  spec.channels = 3;
+  spec.height = spec.width = 64;
+  spec.num_classes = num_classes;
+  spec.noise_stddev = 0.35f;
+  spec.max_shift = 4;
+  spec.seed = 5023;
+  return spec;
+}
+
+LabeledData generate(const SyntheticSpec& spec, std::int64_t count) {
+  if (count <= 0 || spec.num_classes <= 0) throw std::invalid_argument("generate: bad spec/count");
+  std::vector<ClassTemplate> templates;
+  templates.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (std::int64_t c = 0; c < spec.num_classes; ++c) templates.emplace_back(spec, c);
+
+  LabeledData out;
+  out.num_classes = spec.num_classes;
+  out.images = Tensor({count, spec.channels, spec.height, spec.width});
+  out.labels.resize(static_cast<std::size_t>(count));
+  Rng rng(spec.seed ^ 0xA5A5A5A5A5A5A5A5ull);
+  const std::int64_t sample_size = spec.channels * spec.height * spec.width;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t label = i % spec.num_classes;  // balanced
+    out.labels[static_cast<std::size_t>(i)] = label;
+    render_sample(spec, templates[static_cast<std::size_t>(label)].image(), rng,
+                  out.images.data() + i * sample_size);
+  }
+  return out;
+}
+
+TrainTestSplit generate_split(const SyntheticSpec& spec, std::int64_t train_count,
+                              std::int64_t test_count) {
+  // One stream: the first train_count samples train, the rest test, so the
+  // two sets share templates but not noise/jitter draws.
+  LabeledData all = generate(spec, train_count + test_count);
+  TrainTestSplit split;
+  split.train = take(all, train_count);
+  // take() grabs a prefix; build the tail by hand.
+  const std::int64_t sample = all.images.numel() / all.size();
+  Shape shape = all.images.shape();
+  shape[0] = test_count;
+  split.test.images = Tensor(shape);
+  std::copy(all.images.data() + train_count * sample,
+            all.images.data() + (train_count + test_count) * sample, split.test.images.data());
+  split.test.labels.assign(all.labels.begin() + train_count, all.labels.end());
+  split.test.num_classes = all.num_classes;
+  return split;
+}
+
+}  // namespace pecan::data

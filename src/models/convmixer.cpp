@@ -1,0 +1,37 @@
+#include "models/convmixer.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+
+namespace pecan::models {
+
+std::unique_ptr<nn::Sequential> make_convmixer(Variant variant, const ConvMixerSpec& spec,
+                                               Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>("ConvMixer-" + variant_name(variant));
+  // Patch embedding stays uncompressed in every variant (Appendix D).
+  net->append(make_conv("patch", 3, spec.hidden, spec.patch, spec.patch, 0, /*bias=*/false,
+                        variant == Variant::Adder ? Variant::Adder : Variant::Baseline, {}, rng));
+  net->emplace<nn::BatchNorm2d>("patch.bn", spec.hidden);
+  net->emplace<nn::ReLU>("patch.relu");
+
+  // Appendix D presets: p/d = 16/25 for PECAN-A, 32/25 for PECAN-D (d = k^2).
+  const PqPreset preset{16, spec.kernel * spec.kernel, 32, spec.kernel * spec.kernel};
+  for (std::int64_t b = 0; b < spec.depth; ++b) {
+    const std::string name = "block" + std::to_string(b + 1);
+    auto main = std::make_unique<nn::Sequential>(name + ".main");
+    main->append(make_conv(name + ".conv", spec.hidden, spec.hidden, spec.kernel, 1,
+                           (spec.kernel - 1) / 2, /*bias=*/false, variant, preset, rng));
+    main->emplace<nn::BatchNorm2d>(name + ".bn", spec.hidden);
+    net->append(std::make_unique<nn::Residual>(
+        name, std::move(main), std::make_unique<nn::Identity>(name + ".identity"),
+        /*relu_after=*/true));
+  }
+  net->emplace<nn::GlobalAvgPool>("gap");
+  // Final classifier stays uncompressed in every variant (Appendix D).
+  net->append(make_fc("fc", spec.hidden, spec.num_classes, Variant::Baseline, {}, rng));
+  return net;
+}
+
+}  // namespace pecan::models

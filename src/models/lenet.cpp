@@ -1,0 +1,37 @@
+#include "models/lenet.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/pooling.hpp"
+
+namespace pecan::models {
+
+PqPreset lenet_preset(const std::string& layer) {
+  // Table A2: (p, d) per layer for PECAN-A / PECAN-D.
+  if (layer == "conv1") return {4, 9, 64, 9};
+  if (layer == "conv2") return {8, 24, 64, 9};
+  if (layer == "fc1") return {8, 16, 64, 8};
+  if (layer == "fc2") return {8, 16, 64, 8};
+  if (layer == "fc3") return {8, 16, 64, 8};
+  throw std::invalid_argument("lenet_preset: unknown layer " + layer);
+}
+
+std::unique_ptr<nn::Sequential> make_lenet5(Variant variant, Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>("LeNet5-" + variant_name(variant));
+  net->append(make_conv("conv1", 1, 8, 3, 1, 0, /*bias=*/true, variant, lenet_preset("conv1"), rng));
+  net->emplace<nn::ReLU>("relu1");
+  net->emplace<nn::MaxPool2d>("pool1", 2, 2);
+  net->append(make_conv("conv2", 8, 16, 3, 1, 0, /*bias=*/true, variant, lenet_preset("conv2"), rng));
+  net->emplace<nn::ReLU>("relu2");
+  net->emplace<nn::MaxPool2d>("pool2", 2, 2);
+  net->emplace<nn::Flatten>("flatten");
+  net->append(make_fc("fc1", 400, 128, variant, lenet_preset("fc1"), rng));
+  net->emplace<nn::ReLU>("relu3");
+  net->append(make_fc("fc2", 128, 64, variant, lenet_preset("fc2"), rng));
+  net->emplace<nn::ReLU>("relu4");
+  net->append(make_fc("fc3", 64, 10, variant, lenet_preset("fc3"), rng));
+  return net;
+}
+
+}  // namespace pecan::models

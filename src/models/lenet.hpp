@@ -1,0 +1,22 @@
+// Modified LeNet5 (paper Table A1): two 3x3 conv blocks with max-pooling
+// followed by three FC layers, for 28x28x1 inputs (MNIST-scale).
+// PECAN codebook settings are the paper's Table A2.
+#pragma once
+
+#include <memory>
+
+#include "models/variant.hpp"
+#include "nn/module.hpp"
+
+namespace pecan::models {
+
+/// Layer structure (Table A1):
+///   CONV1 1->8 3x3, ReLU, MaxPool 2x2   -> [8, 13, 13]
+///   CONV2 8->16 3x3, ReLU, MaxPool 2x2  -> [16, 5, 5]
+///   FC1 400->128, ReLU; FC2 128->64, ReLU; FC3 64->10
+std::unique_ptr<nn::Sequential> make_lenet5(Variant variant, Rng& rng);
+
+/// The paper's Table A2 presets for each compressible LeNet layer.
+PqPreset lenet_preset(const std::string& layer);
+
+}  // namespace pecan::models

@@ -1,0 +1,101 @@
+#include "models/resnet.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+
+namespace pecan::models {
+
+namespace {
+
+/// Table A3 (ResNet20/32): conv1 8/9 & 128/3; stage-1 blocks 8/9 & 64/3;
+/// stage-2/3 blocks 8/16 & 64/3; FC 8/16 & 64/4.
+PqPreset resnet_preset(std::int64_t stage /* 0 = conv1, 1..3 = stages, 4 = fc */) {
+  switch (stage) {
+    case 0: return {8, 9, 128, 3};
+    case 1: return {8, 9, 64, 3};
+    case 2:
+    case 3: return {8, 16, 64, 3};
+    case 4: return {8, 16, 64, 4};
+  }
+  throw std::invalid_argument("resnet_preset: bad stage");
+}
+
+/// Applies the Fig. 4 ablation override to a conv preset.
+PqPreset apply_proto_dim(PqPreset preset, ProtoDim dim, std::int64_t cin, std::int64_t k) {
+  switch (dim) {
+    case ProtoDim::Preset: return preset;
+    case ProtoDim::K:
+      preset.d_angle = preset.d_dist = k;
+      return preset;
+    case ProtoDim::K2:
+      preset.d_angle = preset.d_dist = k * k;
+      return preset;
+    case ProtoDim::Cin:
+      preset.d_angle = preset.d_dist = cin;
+      return preset;
+  }
+  throw std::invalid_argument("apply_proto_dim: bad dim");
+}
+
+std::unique_ptr<nn::Module> basic_block(const std::string& name, std::int64_t cin,
+                                        std::int64_t cout, std::int64_t stride, Variant variant,
+                                        const PqPreset& preset1, const PqPreset& preset2,
+                                        Rng& rng) {
+  auto main = std::make_unique<nn::Sequential>(name + ".main");
+  main->append(make_conv(name + ".conv1", cin, cout, 3, stride, 1, /*bias=*/false, variant,
+                         preset1, rng));
+  main->emplace<nn::BatchNorm2d>(name + ".bn1", cout);
+  main->emplace<nn::ReLU>(name + ".relu1");
+  main->append(make_conv(name + ".conv2", cout, cout, 3, 1, 1, /*bias=*/false, variant, preset2,
+                         rng));
+  main->emplace<nn::BatchNorm2d>(name + ".bn2", cout);
+
+  std::unique_ptr<nn::Module> shortcut;
+  if (stride != 1 || cin != cout) {
+    shortcut = std::make_unique<nn::OptionAShortcut>(name + ".shortcut", cin, cout, stride);
+  } else {
+    shortcut = std::make_unique<nn::Identity>(name + ".identity");
+  }
+  return std::make_unique<nn::Residual>(name, std::move(main), std::move(shortcut),
+                                        /*relu_after=*/true);
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> make_resnet(std::int64_t depth, Variant variant,
+                                            std::int64_t num_classes, Rng& rng,
+                                            ProtoDim proto_dim) {
+  if (depth != 20 && depth != 32) throw std::invalid_argument("make_resnet: depth must be 20 or 32");
+  const std::int64_t blocks_per_stage = (depth - 2) / 6;  // 3 for ResNet20, 5 for ResNet32
+
+  auto net = std::make_unique<nn::Sequential>("ResNet" + std::to_string(depth) + "-" +
+                                              variant_name(variant));
+  net->append(make_conv("conv1", 3, 16, 3, 1, 1, /*bias=*/false, variant,
+                        apply_proto_dim(resnet_preset(0), proto_dim, 3, 3), rng));
+  net->emplace<nn::BatchNorm2d>("bn1", 16);
+  net->emplace<nn::ReLU>("relu1");
+
+  const std::int64_t widths[3] = {16, 32, 64};
+  std::int64_t cin = 16;
+  for (std::int64_t stage = 0; stage < 3; ++stage) {
+    const std::int64_t cout = widths[stage];
+    for (std::int64_t b = 0; b < blocks_per_stage; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string name = "stage" + std::to_string(stage + 1) + ".block" + std::to_string(b + 1);
+      const PqPreset base = resnet_preset(stage + 1);
+      net->append(basic_block(name, cin, cout, stride, variant,
+                              apply_proto_dim(base, proto_dim, cin, 3),
+                              apply_proto_dim(base, proto_dim, cout, 3), rng));
+      cin = cout;
+    }
+  }
+  net->emplace<nn::GlobalAvgPool>("gap");
+  net->append(make_fc("fc", 64, num_classes, variant, resnet_preset(4), rng));
+  return net;
+}
+
+}  // namespace pecan::models

@@ -1,0 +1,36 @@
+// ResNet20 / ResNet32 for CIFAR (He et al. 2016) with parameter-free
+// option-A shortcuts — baseline MACs 40.55M / 68.86M, matching Table 3
+// exactly. PECAN presets from Table A3.
+//
+// `ProtoDim` selects the prototype dimension for the Fig. 4 ablation:
+//   K    — d = k = 3 (finest grouping, D = k*cin)
+//   K2   — d = k^2 = 9 (the paper's default granularity, D = cin)
+//   Cin  — d = cin (coarsest, D = k^2)
+//   Preset — the per-layer Table A3 settings (used by Tables 3/4)
+#pragma once
+
+#include <memory>
+
+#include "models/variant.hpp"
+#include "nn/module.hpp"
+
+namespace pecan::models {
+
+enum class ProtoDim { Preset, K, K2, Cin };
+
+std::unique_ptr<nn::Sequential> make_resnet(std::int64_t depth /* 20 or 32 */, Variant variant,
+                                            std::int64_t num_classes, Rng& rng,
+                                            ProtoDim proto_dim = ProtoDim::Preset);
+
+inline std::unique_ptr<nn::Sequential> make_resnet20(Variant variant, std::int64_t num_classes,
+                                                     Rng& rng,
+                                                     ProtoDim proto_dim = ProtoDim::Preset) {
+  return make_resnet(20, variant, num_classes, rng, proto_dim);
+}
+inline std::unique_ptr<nn::Sequential> make_resnet32(Variant variant, std::int64_t num_classes,
+                                                     Rng& rng,
+                                                     ProtoDim proto_dim = ProtoDim::Preset) {
+  return make_resnet(32, variant, num_classes, rng, proto_dim);
+}
+
+}  // namespace pecan::models

@@ -1,0 +1,65 @@
+#include "models/variant.hpp"
+
+#include <stdexcept>
+
+namespace pecan::models {
+
+std::string variant_name(Variant variant) {
+  switch (variant) {
+    case Variant::Baseline: return "Baseline";
+    case Variant::PecanA: return "PECAN-A";
+    case Variant::PecanD: return "PECAN-D";
+    case Variant::Adder: return "AdderNet";
+  }
+  return "?";
+}
+
+bool is_pecan(Variant variant) {
+  return variant == Variant::PecanA || variant == Variant::PecanD;
+}
+
+pq::PqLayerConfig PqPreset::config(Variant variant) const {
+  pq::PqLayerConfig cfg;
+  if (variant == Variant::PecanA) {
+    cfg.p = p_angle;
+    cfg.d = d_angle;
+    cfg.mode = pq::MatchMode::Angle;
+    cfg.temperature = kTauAngle;
+  } else if (variant == Variant::PecanD) {
+    cfg.p = p_dist;
+    cfg.d = d_dist;
+    cfg.mode = pq::MatchMode::Distance;
+    cfg.temperature = kTauDistance;
+  } else {
+    throw std::invalid_argument("PqPreset::config: not a PECAN variant");
+  }
+  return cfg;
+}
+
+std::unique_ptr<nn::Module> make_conv(const std::string& name, std::int64_t cin,
+                                      std::int64_t cout, std::int64_t k, std::int64_t stride,
+                                      std::int64_t pad, bool bias, Variant variant,
+                                      const PqPreset& preset, Rng& rng) {
+  switch (variant) {
+    case Variant::Baseline:
+      return std::make_unique<nn::Conv2d>(name, cin, cout, k, stride, pad, bias, rng);
+    case Variant::Adder:
+      return std::make_unique<nn::AdderConv2d>(name, cin, cout, k, stride, pad, rng);
+    case Variant::PecanA:
+    case Variant::PecanD:
+      return std::make_unique<pq::PecanConv2d>(name, cin, cout, k, stride, pad, bias,
+                                               preset.config(variant), rng);
+  }
+  throw std::invalid_argument("make_conv: bad variant");
+}
+
+std::unique_ptr<nn::Module> make_fc(const std::string& name, std::int64_t in, std::int64_t out,
+                                    Variant variant, const PqPreset& preset, Rng& rng) {
+  if (is_pecan(variant)) {
+    return std::make_unique<pq::PecanLinear>(name, in, out, /*bias=*/true, preset.config(variant),
+                                             rng);
+  }
+  return std::make_unique<nn::Linear>(name, in, out, /*bias=*/true, rng);
+}
+
+}  // namespace pecan::models

@@ -1,0 +1,56 @@
+// Model variants and per-layer PQ presets.
+//
+// Every evaluation model (LeNet5, VGG-Small, ResNet20/32, ConvMixer) can be
+// built in four flavors sharing layer names, so checkpoints transfer across
+// variants (uni-optimization loads a Baseline checkpoint into a Pecan one):
+//   Baseline — ordinary CNN (Conv2d / Linear)
+//   PecanA   — angle-based PECAN (tau = 1, per the paper)
+//   PecanD   — distance-based PECAN (tau = 0.5, epoch-aware sign surrogate)
+//   Adder    — AdderNet convolutions (Table 5 comparison)
+// The (p, d) presets are the paper's Tables A2 (LeNet) and A3 (VGG/ResNet)
+// and Appendix D (ConvMixer), reproduced verbatim.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/pecan_linear.hpp"
+#include "core/pq_config.hpp"
+#include "nn/adder_conv.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace pecan::models {
+
+enum class Variant { Baseline, PecanA, PecanD, Adder };
+
+std::string variant_name(Variant variant);
+bool is_pecan(Variant variant);
+
+/// (p, d) settings for the two PECAN flavors of one layer.
+struct PqPreset {
+  std::int64_t p_angle = 0, d_angle = 0;
+  std::int64_t p_dist = 0, d_dist = 0;
+
+  pq::PqLayerConfig config(Variant variant) const;
+};
+
+/// Paper-default temperatures (τ = 1 for PECAN-A, 0.5 for PECAN-D).
+constexpr float kTauAngle = 1.0f;
+constexpr float kTauDistance = 0.5f;
+
+/// Builds a conv layer of the requested variant. `preset` is ignored for
+/// Baseline/Adder.
+std::unique_ptr<nn::Module> make_conv(const std::string& name, std::int64_t cin,
+                                      std::int64_t cout, std::int64_t k, std::int64_t stride,
+                                      std::int64_t pad, bool bias, Variant variant,
+                                      const PqPreset& preset, Rng& rng);
+
+/// Builds an FC layer of the requested variant (Adder falls back to Linear,
+/// matching the AdderNet paper which keeps the classifier dense).
+std::unique_ptr<nn::Module> make_fc(const std::string& name, std::int64_t in, std::int64_t out,
+                                    Variant variant, const PqPreset& preset, Rng& rng);
+
+}  // namespace pecan::models

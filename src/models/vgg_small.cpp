@@ -1,0 +1,50 @@
+#include "models/vgg_small.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/pooling.hpp"
+
+namespace pecan::models {
+
+PqPreset vgg_small_preset(const std::string& layer) {
+  // Table A3 (VGG-Small): 32x32 layers p/d = 16/9 (A), 32/3 (D);
+  // 16x16 and 8x8 layers 16/32 (A), 32/3 (D); FC 16/16 (A), 32/16 (D).
+  if (layer == "conv1" || layer == "conv2") return {16, 9, 32, 3};
+  if (layer == "conv3" || layer == "conv4") return {16, 32, 32, 3};
+  if (layer == "conv5" || layer == "conv6") return {16, 32, 32, 3};
+  if (layer == "fc") return {16, 16, 32, 16};
+  throw std::invalid_argument("vgg_small_preset: unknown layer " + layer);
+}
+
+std::unique_ptr<nn::Sequential> make_vgg_small(Variant variant, std::int64_t num_classes,
+                                               Rng& rng) {
+  // conv1 has cin = 3 (cin*k^2 = 27): the Table A3 d = 9 (A) / 3 (D)
+  // settings divide it exactly; deeper layers use the block presets.
+  auto net = std::make_unique<nn::Sequential>("VGG-Small-" + variant_name(variant));
+  struct ConvSpec {
+    const char* name;
+    std::int64_t cin, cout;
+    bool pool_after;
+  };
+  const ConvSpec specs[] = {
+      {"conv1", 3, 128, false},  {"conv2", 128, 128, true}, {"conv3", 128, 256, false},
+      {"conv4", 256, 256, true}, {"conv5", 256, 512, false}, {"conv6", 512, 512, true},
+  };
+  int pool_index = 1;
+  for (const ConvSpec& spec : specs) {
+    net->append(make_conv(spec.name, spec.cin, spec.cout, 3, 1, 1, /*bias=*/false, variant,
+                          vgg_small_preset(spec.name), rng));
+    net->emplace<nn::BatchNorm2d>(std::string(spec.name) + ".bn", spec.cout);
+    net->emplace<nn::ReLU>(std::string(spec.name) + ".relu");
+    if (spec.pool_after) {
+      net->emplace<nn::MaxPool2d>("pool" + std::to_string(pool_index++), 2, 2);
+    }
+  }
+  net->emplace<nn::Flatten>("flatten");
+  net->append(make_fc("fc", 512 * 4 * 4, num_classes, variant, vgg_small_preset("fc"), rng));
+  return net;
+}
+
+}  // namespace pecan::models

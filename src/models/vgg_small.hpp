@@ -1,0 +1,21 @@
+// VGG-Small: the simplified VGGNet with a single FC layer used in the BNN
+// literature and in the paper's Tables 3-6. Six 3x3 conv layers
+// (128-128-256-256-512-512) with BN+ReLU, MaxPool after each pair, one FC.
+// Baseline inference cost is 0.61G MACs at 32x32 (matches Table 3).
+// PECAN codebook settings follow Table A3.
+#pragma once
+
+#include <memory>
+
+#include "models/variant.hpp"
+#include "nn/module.hpp"
+
+namespace pecan::models {
+
+std::unique_ptr<nn::Sequential> make_vgg_small(Variant variant, std::int64_t num_classes,
+                                               Rng& rng);
+
+/// Table A3 presets, keyed by conv index 1-6 or "fc".
+PqPreset vgg_small_preset(const std::string& layer);
+
+}  // namespace pecan::models

@@ -1,0 +1,44 @@
+// BatchNorm2d with inference-time folding support.
+//
+// The paper folds BN into convolutions at inference ("batch normalization
+// can be folded into convolution layers in the inference stage, we do not
+// count FLOPs for both baseline and PECAN"), so BatchNorm2d exposes the
+// per-channel (scale, shift) pair that Conv2d::fold_scale_shift consumes.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace pecan::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  BatchNorm2d(std::string name, std::int64_t channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input) override;  ///< [N, C, H, W]
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+  /// y = scale * x + shift equivalent of the (frozen) running statistics.
+  Tensor inference_scale() const;
+  Tensor inference_shift() const;
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::string name_;
+  std::int64_t channels_;
+  float momentum_, eps_;
+  Parameter gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Backward context (training batch statistics).
+  Tensor cached_xhat_;
+  Tensor batch_inv_std_;
+  Shape input_shape_;
+};
+
+}  // namespace pecan::nn

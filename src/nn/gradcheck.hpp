@@ -1,0 +1,35 @@
+// Finite-difference gradient checking harness.
+//
+// Every differentiable layer in the repo — including PECAN-A and the τ≠0
+// soft path of PECAN-D — is verified against central differences in the
+// test suite. This is what makes a hand-written backprop engine trustworthy.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace pecan::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0;
+  double max_rel_error = 0;
+  std::string worst_site;  ///< "input[12]" or "conv.weight[3]"
+  bool ok(double tolerance) const { return max_rel_error <= tolerance; }
+};
+
+struct GradCheckOptions {
+  float epsilon = 1e-2f;       ///< central-difference step (fp32 needs a big one)
+  double rel_floor = 1e-1;     ///< denominator floor for relative error
+  std::int64_t max_probes = 64;  ///< random subset of coordinates to probe
+  std::uint64_t seed = 7;
+};
+
+/// Checks d(sum of scaled outputs)/d(input and parameters) for `module` at
+/// input `x` against central finite differences. The scalar loss is
+/// sum(output * fixed_random_weights) to exercise all output coordinates.
+GradCheckResult grad_check(Module& module, const Tensor& x, const GradCheckOptions& options = {});
+
+}  // namespace pecan::nn

@@ -1,0 +1,72 @@
+#include "nn/im2col.hpp"
+
+#include <stdexcept>
+
+namespace pecan::nn {
+
+void Conv2dGeometry::validate() const {
+  if (cin <= 0 || hin <= 0 || win <= 0) throw std::invalid_argument("Conv2dGeometry: bad input dims");
+  if (k <= 0 || stride <= 0 || pad < 0) throw std::invalid_argument("Conv2dGeometry: bad k/stride/pad");
+  if (hin + 2 * pad < k || win + 2 * pad < k) {
+    throw std::invalid_argument("Conv2dGeometry: kernel larger than padded input");
+  }
+}
+
+void im2col(const float* im, const Conv2dGeometry& g, float* cols) {
+  g.validate();
+  const std::int64_t ho = g.hout(), wo = g.wout(), ncols = ho * wo;
+  for (std::int64_t c = 0; c < g.cin; ++c) {
+    const float* channel = im + c * g.hin * g.win;
+    for (std::int64_t ki = 0; ki < g.k; ++ki) {
+      for (std::int64_t kj = 0; kj < g.k; ++kj) {
+        float* row = cols + ((c * g.k + ki) * g.k + kj) * ncols;
+        for (std::int64_t oi = 0; oi < ho; ++oi) {
+          const std::int64_t ii = oi * g.stride + ki - g.pad;
+          if (ii < 0 || ii >= g.hin) {
+            for (std::int64_t oj = 0; oj < wo; ++oj) row[oi * wo + oj] = 0.f;
+            continue;
+          }
+          const float* src = channel + ii * g.win;
+          for (std::int64_t oj = 0; oj < wo; ++oj) {
+            const std::int64_t jj = oj * g.stride + kj - g.pad;
+            row[oi * wo + oj] = (jj < 0 || jj >= g.win) ? 0.f : src[jj];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_accumulate(const float* cols, const Conv2dGeometry& g, float* im_grad) {
+  g.validate();
+  const std::int64_t ho = g.hout(), wo = g.wout(), ncols = ho * wo;
+  for (std::int64_t c = 0; c < g.cin; ++c) {
+    float* channel = im_grad + c * g.hin * g.win;
+    for (std::int64_t ki = 0; ki < g.k; ++ki) {
+      for (std::int64_t kj = 0; kj < g.k; ++kj) {
+        const float* row = cols + ((c * g.k + ki) * g.k + kj) * ncols;
+        for (std::int64_t oi = 0; oi < ho; ++oi) {
+          const std::int64_t ii = oi * g.stride + ki - g.pad;
+          if (ii < 0 || ii >= g.hin) continue;
+          float* dst = channel + ii * g.win;
+          for (std::int64_t oj = 0; oj < wo; ++oj) {
+            const std::int64_t jj = oj * g.stride + kj - g.pad;
+            if (jj >= 0 && jj < g.win) dst[jj] += row[oi * wo + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor im2col(const Tensor& image, const Conv2dGeometry& g) {
+  if (image.ndim() != 3 || image.dim(0) != g.cin || image.dim(1) != g.hin || image.dim(2) != g.win) {
+    throw std::invalid_argument("im2col: image shape " + shape_str(image.shape()) +
+                                " does not match geometry");
+  }
+  Tensor cols({g.rows(), g.cols()});
+  im2col(image.data(), g, cols.data());
+  return cols;
+}
+
+}  // namespace pecan::nn

@@ -1,0 +1,35 @@
+// Linear (fully-connected) layer — the paper's FC baseline, i.e. the
+// k = Hout = Wout = 1 special case of a convolution.
+#pragma once
+
+#include "nn/module.hpp"
+#include "tensor/rng.hpp"
+
+namespace pecan::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::string name, std::int64_t in_features, std::int64_t out_features, bool bias,
+         Rng& rng);
+
+  Tensor forward(const Tensor& input) override;  ///< [N, in] -> [N, out]
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  ops::OpCount inference_ops() const override;
+
+  Parameter& weight() { return weight_; }  ///< [out, in]
+  Parameter& bias() { return bias_; }
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::string name_;
+  std::int64_t in_, out_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace pecan::nn

@@ -1,0 +1,57 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace pecan::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  if (logits.ndim() != 2) throw std::invalid_argument("SoftmaxCrossEntropy: logits must be 2-D");
+  const std::int64_t n = logits.dim(0), classes = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: batch size mismatch");
+  }
+  probs_ = softmax_lastdim(logits);
+  labels_ = labels;
+  double loss = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    const std::int64_t y = labels[static_cast<std::size_t>(s)];
+    if (y < 0 || y >= classes) throw std::out_of_range("SoftmaxCrossEntropy: bad label");
+    loss -= std::log(std::max(probs_[s * classes + y], 1e-12f));
+  }
+  return static_cast<float>(loss / n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (probs_.empty()) throw std::logic_error("SoftmaxCrossEntropy: backward before forward");
+  const std::int64_t n = probs_.dim(0), classes = probs_.dim(1);
+  Tensor grad = probs_;
+  const float inv_n = 1.f / static_cast<float>(n);
+  for (std::int64_t s = 0; s < n; ++s) {
+    grad[s * classes + labels_[static_cast<std::size_t>(s)]] -= 1.f;
+    for (std::int64_t c = 0; c < classes; ++c) grad[s * classes + c] *= inv_n;
+  }
+  return grad;
+}
+
+double accuracy_percent(const Tensor& logits, const std::vector<std::int64_t>& labels) {
+  if (logits.ndim() != 2) throw std::invalid_argument("accuracy_percent: logits must be 2-D");
+  const std::int64_t n = logits.dim(0), classes = logits.dim(1);
+  if (static_cast<std::int64_t>(labels.size()) != n || n == 0) {
+    throw std::invalid_argument("accuracy_percent: batch size mismatch");
+  }
+  std::int64_t correct = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* row = logits.data() + s * classes;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    if (best == labels[static_cast<std::size_t>(s)]) ++correct;
+  }
+  return 100.0 * static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace pecan::nn

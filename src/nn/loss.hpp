@@ -1,0 +1,31 @@
+// Softmax cross-entropy loss (the paper trains all models with
+// cross-entropy optimized by Adam).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pecan::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N, classes]; labels: N entries in [0, classes).
+  /// Returns mean loss over the batch.
+  float forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+  /// dL/dlogits for the last forward() call, already divided by N.
+  Tensor backward() const;
+
+  /// Probabilities from the last forward (for calibration inspection).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// Top-1 accuracy of logits [N, classes] against labels, in percent.
+double accuracy_percent(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+}  // namespace pecan::nn

@@ -1,0 +1,68 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace pecan::nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum, double weight_decay)
+    : Optimizer(std::move(params), lr), momentum_(momentum), weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (!p.trainable) continue;
+    Tensor& vel = velocity_[i];
+    const float lr = static_cast<float>(lr_);
+    const float mu = static_cast<float>(momentum_);
+    const float wd = static_cast<float>(weight_decay_);
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      float g = p.grad[j] + wd * p.value[j];
+      vel[j] = mu * vel[j] + g;
+      p.value[j] -= lr * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float lr_t = static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    if (!p.trainable) continue;
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const float b1 = static_cast<float>(beta1_), b2 = static_cast<float>(beta2_);
+    const float eps = static_cast<float>(eps_), wd = static_cast<float>(weight_decay_);
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + wd * p.value[j];
+      m[j] = b1 * m[j] + (1.f - b1) * g;
+      v[j] = b2 * v[j] + (1.f - b2) * g * g;
+      p.value[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps);
+    }
+  }
+}
+
+double StepLr::lr_for_epoch(std::int64_t epoch) const {
+  double lr = base_lr_;
+  for (std::int64_t e = step_epochs_; e <= epoch; e += step_epochs_) lr *= gamma_;
+  return lr;
+}
+
+}  // namespace pecan::nn

@@ -1,0 +1,88 @@
+// Optimizers (SGD with momentum, Adam) and the step-decay LR schedule the
+// paper uses ("learning rate is set to 0.01 initially, decaying every 50
+// epochs" / "initialized as 0.001, decaying at epoch 200").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace pecan::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params, double lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  double lr_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.9,
+      double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9, double beta2 = 0.999,
+       double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Multiply lr by `gamma` every `step_epochs` epochs (paper's decay scheme).
+class StepLr {
+ public:
+  StepLr(double base_lr, std::int64_t step_epochs, double gamma = 0.1)
+      : base_lr_(base_lr), step_epochs_(step_epochs), gamma_(gamma) {}
+
+  double lr_for_epoch(std::int64_t epoch) const;
+  void apply(Optimizer& opt, std::int64_t epoch) const { opt.set_lr(lr_for_epoch(epoch)); }
+
+ private:
+  double base_lr_;
+  std::int64_t step_epochs_;
+  double gamma_;
+};
+
+/// Decay once at a fixed epoch (PECAN-D's "decaying at epoch 200").
+class DecayAtEpoch {
+ public:
+  DecayAtEpoch(double base_lr, std::int64_t decay_epoch, double gamma = 0.1)
+      : base_lr_(base_lr), decay_epoch_(decay_epoch), gamma_(gamma) {}
+
+  double lr_for_epoch(std::int64_t epoch) const {
+    return epoch >= decay_epoch_ ? base_lr_ * gamma_ : base_lr_;
+  }
+  void apply(Optimizer& opt, std::int64_t epoch) const { opt.set_lr(lr_for_epoch(epoch)); }
+
+ private:
+  double base_lr_;
+  std::int64_t decay_epoch_;
+  double gamma_;
+};
+
+}  // namespace pecan::nn

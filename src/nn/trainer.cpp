@@ -1,0 +1,112 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace pecan::nn {
+
+Tensor gather_batch(const Tensor& images, const std::vector<std::int64_t>& order,
+                    std::int64_t first, std::int64_t last,
+                    const std::vector<std::int64_t>& labels,
+                    std::vector<std::int64_t>& batch_labels) {
+  const std::int64_t count = last - first;
+  const std::int64_t sample_size = images.numel() / images.dim(0);
+  Shape shape = images.shape();
+  shape[0] = count;
+  Tensor batch(std::move(shape));
+  batch_labels.resize(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t src = order[static_cast<std::size_t>(first + i)];
+    const float* from = images.data() + src * sample_size;
+    float* to = batch.data() + i * sample_size;
+    std::copy(from, from + sample_size, to);
+    batch_labels[static_cast<std::size_t>(i)] = labels[static_cast<std::size_t>(src)];
+  }
+  return batch;
+}
+
+TrainResult fit(Module& model, Optimizer& optimizer, DatasetView train, DatasetView test,
+                const TrainConfig& config) {
+  if (train.size() == 0) throw std::invalid_argument("fit: empty training set");
+  TrainResult result;
+  Rng shuffle_rng(config.shuffle_seed);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(train.size()));
+  std::iota(order.begin(), order.end(), 0);
+  SoftmaxCrossEntropy loss_fn;
+
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    util::Timer timer;
+    model.set_training(true);
+    // e/E progress for PECAN-D's epoch-aware sign surrogate (Eq. 6).
+    model.set_epoch_progress(config.epochs > 1
+                                 ? static_cast<double>(epoch) / static_cast<double>(config.epochs)
+                                 : 0.0);
+    if (config.lr_schedule) config.lr_schedule(optimizer, epoch);
+    shuffle_rng.shuffle(order);
+
+    double epoch_loss = 0;
+    std::int64_t batches = 0;
+    std::vector<std::int64_t> batch_labels;
+    for (std::int64_t first = 0; first < train.size(); first += config.batch_size) {
+      const std::int64_t last = std::min<std::int64_t>(train.size(), first + config.batch_size);
+      Tensor batch = gather_batch(*train.images, order, first, last, *train.labels, batch_labels);
+      optimizer.zero_grad();
+      Tensor logits = model.forward(batch);
+      const float loss = loss_fn.forward(logits, batch_labels);
+      model.backward(loss_fn.backward());
+      optimizer.step();
+      epoch_loss += loss;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches);
+    result.epoch_losses.push_back(epoch_loss);
+
+    double acc = std::nan("");
+    if (config.evaluate_each_epoch && test.size() > 0) {
+      acc = evaluate(model, test, config.batch_size);
+      result.epoch_accuracies.push_back(acc);
+    }
+    PECAN_LOG_INFO << model.name() << " epoch " << (epoch + 1) << "/" << config.epochs
+                   << " loss=" << epoch_loss << " acc=" << acc << "% (" << timer.elapsed_s()
+                   << "s)";
+    if (config.on_epoch) config.on_epoch(epoch, epoch_loss, acc);
+  }
+  result.final_train_loss = result.epoch_losses.empty() ? 0 : result.epoch_losses.back();
+  if (!result.epoch_accuracies.empty()) {
+    result.final_test_accuracy = result.epoch_accuracies.back();
+  } else if (test.size() > 0) {
+    result.final_test_accuracy = evaluate(model, test);
+  }
+  return result;
+}
+
+double evaluate(Module& model, DatasetView data, std::int64_t batch_size) {
+  if (data.size() == 0) throw std::invalid_argument("evaluate: empty dataset");
+  model.set_training(false);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(data.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::int64_t correct = 0;
+  std::vector<std::int64_t> batch_labels;
+  for (std::int64_t first = 0; first < data.size(); first += batch_size) {
+    const std::int64_t last = std::min<std::int64_t>(data.size(), first + batch_size);
+    Tensor batch = gather_batch(*data.images, order, first, last, *data.labels, batch_labels);
+    Tensor logits = model.forward(batch);
+    const std::int64_t classes = logits.dim(1);
+    for (std::int64_t s = 0; s < last - first; ++s) {
+      const float* row = logits.data() + s * classes;
+      std::int64_t best = 0;
+      for (std::int64_t c = 1; c < classes; ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      if (best == batch_labels[static_cast<std::size_t>(s)]) ++correct;
+    }
+  }
+  model.set_training(true);
+  return 100.0 * static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace pecan::nn

@@ -1,0 +1,54 @@
+// Training loop: shuffled mini-batches, LR schedule hook, epoch-progress
+// propagation (for PECAN-D's epoch-aware surrogate, Eq. 6), and evaluation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/rng.hpp"
+
+namespace pecan::nn {
+
+/// Non-owning view of an in-memory dataset: images [N, C, H, W] (or [N, F])
+/// and N labels.
+struct DatasetView {
+  const Tensor* images = nullptr;
+  const std::vector<std::int64_t>* labels = nullptr;
+
+  std::int64_t size() const { return images ? images->dim(0) : 0; }
+};
+
+struct TrainConfig {
+  std::int64_t epochs = 10;
+  std::int64_t batch_size = 64;
+  /// Called at the start of each epoch to set the optimizer LR.
+  std::function<void(Optimizer&, std::int64_t epoch)> lr_schedule;
+  /// Called after each epoch with (epoch, train_loss, test_accuracy_pct).
+  std::function<void(std::int64_t, double, double)> on_epoch;
+  bool evaluate_each_epoch = true;
+  std::uint64_t shuffle_seed = 42;
+};
+
+struct TrainResult {
+  double final_train_loss = 0;
+  double final_test_accuracy = 0;  ///< percent; NaN if never evaluated
+  std::vector<double> epoch_losses;
+  std::vector<double> epoch_accuracies;
+};
+
+/// Slices samples `indices[first, last)` of a dataset into a batch tensor.
+Tensor gather_batch(const Tensor& images, const std::vector<std::int64_t>& order,
+                    std::int64_t first, std::int64_t last,
+                    const std::vector<std::int64_t>& labels, std::vector<std::int64_t>& batch_labels);
+
+/// Full training loop; propagates e/E into the model every epoch.
+TrainResult fit(Module& model, Optimizer& optimizer, DatasetView train, DatasetView test,
+                const TrainConfig& config);
+
+/// Top-1 accuracy (%) of the model over a dataset, in eval mode.
+double evaluate(Module& model, DatasetView data, std::int64_t batch_size = 128);
+
+}  // namespace pecan::nn

@@ -1,0 +1,73 @@
+#include "ops/complexity.hpp"
+
+#include <stdexcept>
+
+namespace pecan::ops {
+
+namespace {
+std::uint64_t u(std::int64_t v, const char* what) {
+  if (v <= 0) throw std::invalid_argument(std::string("complexity: non-positive ") + what);
+  return static_cast<std::uint64_t>(v);
+}
+}  // namespace
+
+void validate_pq_dims(const ConvDims& c, const PqDims& q) {
+  u(q.p, "p");
+  u(q.D, "D");
+  u(q.d, "d");
+  if (q.D * q.d != c.cin * c.k * c.k) {
+    throw std::invalid_argument("complexity: D*d != cin*k^2 (D=" + std::to_string(q.D) +
+                                ", d=" + std::to_string(q.d) + ", cin=" + std::to_string(c.cin) +
+                                ", k=" + std::to_string(c.k) + ")");
+  }
+}
+
+OpCount conv_baseline(const ConvDims& c) {
+  const std::uint64_t macs =
+      u(c.cin, "cin") * u(c.hout, "hout") * u(c.wout, "wout") * u(c.k, "k") * u(c.k, "k") *
+      u(c.cout, "cout");
+  return {macs, macs};
+}
+
+OpCount conv_pecan_a(const ConvDims& c, const PqDims& q) {
+  validate_pq_dims(c, q);
+  const std::uint64_t ops = u(q.p, "p") * u(q.D, "D") * u(c.hout, "hout") * u(c.wout, "wout") *
+                            (u(q.d, "d") + u(c.cout, "cout"));
+  return {ops, ops};
+}
+
+OpCount conv_pecan_d(const ConvDims& c, const PqDims& q) {
+  validate_pq_dims(c, q);
+  const std::uint64_t adds = u(q.D, "D") * u(c.hout, "hout") * u(c.wout, "wout") *
+                             (2 * u(q.p, "p") * u(q.d, "d") + u(c.cout, "cout"));
+  return {adds, 0};
+}
+
+OpCount conv_addernet(const ConvDims& c) {
+  // l1 template matching: per output element, cin*k^2 subtractions plus
+  // cin*k^2 accumulations of absolute values -> twice the baseline adds.
+  const OpCount base = conv_baseline(c);
+  return {2 * base.adds, 0};
+}
+
+namespace {
+ConvDims fc_dims(std::int64_t cin, std::int64_t cout) {
+  return ConvDims{cin, cout, /*k=*/1, /*hout=*/1, /*wout=*/1};
+}
+}  // namespace
+
+OpCount fc_baseline(std::int64_t cin, std::int64_t cout) { return conv_baseline(fc_dims(cin, cout)); }
+
+OpCount fc_pecan_a(std::int64_t cin, std::int64_t cout, const PqDims& q) {
+  return conv_pecan_a(fc_dims(cin, cout), q);
+}
+
+OpCount fc_pecan_d(std::int64_t cin, std::int64_t cout, const PqDims& q) {
+  return conv_pecan_d(fc_dims(cin, cout), q);
+}
+
+bool pecan_a_cheaper_than_baseline(const ConvDims& c, const PqDims& q) {
+  return conv_pecan_a(c, q).muls < conv_baseline(c).muls;
+}
+
+}  // namespace pecan::ops

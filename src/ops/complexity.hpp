@@ -1,0 +1,52 @@
+// Closed-form inference complexity — the formulas of Table 1 (and the
+// AdderNet row of Table 5), in one place.
+//
+// Conventions follow the paper exactly:
+//  - Baseline CONV:  #Add = #Mul = cin * Hout * Wout * k^2 * cout
+//  - PECAN-A CONV:   #Add = #Mul = p * D * Hout * Wout * (d + cout)
+//  - PECAN-D CONV:   #Add = D * Hout * Wout * (2*p*d + cout), #Mul = 0
+//  - FC is the k = Hout = Wout = 1 special case.
+//  - AdderNet CONV:  #Add = 2 * cin * Hout * Wout * k^2 * cout, #Mul = 0
+// The general PQ setting D*d = cin*k^2 is enforced (throws otherwise).
+#pragma once
+
+#include <cstdint>
+
+#include "ops/op_count.hpp"
+
+namespace pecan::ops {
+
+struct ConvDims {
+  std::int64_t cin = 0;
+  std::int64_t cout = 0;
+  std::int64_t k = 0;      ///< kernel size (k x k)
+  std::int64_t hout = 0;
+  std::int64_t wout = 0;
+};
+
+struct PqDims {
+  std::int64_t p = 0;  ///< prototypes per codebook
+  std::int64_t D = 0;  ///< number of groups
+  std::int64_t d = 0;  ///< subvector dimension; requires D*d == cin*k^2
+};
+
+OpCount conv_baseline(const ConvDims& c);
+OpCount conv_pecan_a(const ConvDims& c, const PqDims& q);
+OpCount conv_pecan_d(const ConvDims& c, const PqDims& q);
+OpCount conv_addernet(const ConvDims& c);
+
+/// FC layers as the k = Hout = Wout = 1 case.
+OpCount fc_baseline(std::int64_t cin, std::int64_t cout);
+OpCount fc_pecan_a(std::int64_t cin, std::int64_t cout, const PqDims& q);
+OpCount fc_pecan_d(std::int64_t cin, std::int64_t cout, const PqDims& q);
+
+/// Validates D*d == cin*k^2 (throws std::invalid_argument on violation).
+void validate_pq_dims(const ConvDims& c, const PqDims& q);
+
+/// Paper §3.3: to keep PECAN-A cheaper than the baseline one needs
+/// p <= min(lambda*cout, (1-lambda)*d) for some lambda in (0,1).
+/// Returns true iff such a lambda exists, i.e. p/cout + p/d < 1 … relaxed
+/// to the exact condition p*(cout + d) < cout*d used in the experiments.
+bool pecan_a_cheaper_than_baseline(const ConvDims& c, const PqDims& q);
+
+}  // namespace pecan::ops

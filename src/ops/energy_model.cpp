@@ -1,0 +1,4 @@
+#include "ops/energy_model.hpp"
+
+// Header-only logic; this TU exists so the library has a .cpp anchor and the
+// model constants get a single home if they ever become configurable.

@@ -1,0 +1,37 @@
+// Cycle / power model used for the hardware comparison of Table 5.
+//
+// The paper adopts the Intel VIA Nano 2000 figures from the AdderNet paper:
+// a 32-bit float multiplication costs 4 latency cycles and an addition 2,
+// and the power of a 32-bit multiplier vs adder unit is 4:1. Table 5's
+// "Normalized Power" column divides each design's power proxy by the
+// PECAN-D value, and "Latency(cycles)" is the raw weighted cycle count.
+#pragma once
+
+#include <cstdint>
+
+#include "ops/op_count.hpp"
+
+namespace pecan::ops {
+
+struct EnergyModel {
+  std::uint64_t mul_latency_cycles = 4;  ///< Intel VIA Nano 2000 float mul
+  std::uint64_t add_latency_cycles = 2;  ///< Intel VIA Nano 2000 float add
+  double mul_power_units = 4.0;          ///< 32-bit mul:add power ratio 4:1
+  double add_power_units = 1.0;
+
+  std::uint64_t latency_cycles(const OpCount& ops) const {
+    return mul_latency_cycles * ops.muls + add_latency_cycles * ops.adds;
+  }
+
+  double power_units(const OpCount& ops) const {
+    return mul_power_units * static_cast<double>(ops.muls) +
+           add_power_units * static_cast<double>(ops.adds);
+  }
+
+  /// Table 5 normalization: power relative to a reference design.
+  double normalized_power(const OpCount& ops, const OpCount& reference) const {
+    return power_units(ops) / power_units(reference);
+  }
+};
+
+}  // namespace pecan::ops

@@ -1,0 +1,11 @@
+#include "ops/op_count.hpp"
+
+#include "util/format.hpp"
+
+namespace pecan::ops {
+
+std::string OpCount::str() const {
+  return "#Add=" + util::human_count(adds) + " #Mul=" + util::human_count(muls);
+}
+
+}  // namespace pecan::ops

@@ -1,0 +1,35 @@
+// Operation accounting: the #Add / #Mul bookkeeping behind Tables 1-5 & A2.
+//
+// Counts are exact analytic values per inference of one input sample
+// (batch size 1), matching how the paper reports them. The CAM executor
+// (src/cam) counts the same quantities dynamically at its arithmetic call
+// sites; tests assert the two agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pecan::ops {
+
+struct OpCount {
+  std::uint64_t adds = 0;
+  std::uint64_t muls = 0;
+
+  OpCount& operator+=(const OpCount& other) {
+    adds += other.adds;
+    muls += other.muls;
+    return *this;
+  }
+  friend OpCount operator+(OpCount a, const OpCount& b) { return a += b; }
+  friend OpCount operator*(OpCount a, std::uint64_t n) {
+    a.adds *= n;
+    a.muls *= n;
+    return a;
+  }
+  friend bool operator==(const OpCount&, const OpCount&) = default;
+
+  /// "#Add=45.97K #Mul=45.97K" style summary for logs.
+  std::string str() const;
+};
+
+}  // namespace pecan::ops

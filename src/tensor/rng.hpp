@@ -1,0 +1,53 @@
+// Deterministic random number generation.
+//
+// All experiments must be exactly reproducible run-to-run, so every source
+// of randomness in the repo (weight init, synthetic datasets, k-means
+// seeding, shuffling) draws from an explicitly seeded Rng instance — there
+// is no hidden global state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pecan {
+
+/// xoshiro256** with splitmix64 seeding; fast, high-quality, and portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  float uniform();
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+  /// Standard normal via Box-Muller (cached second sample).
+  float normal();
+  float normal(float mean, float stddev);
+  /// Uniform integer in [0, n). n must be > 0.
+  std::int64_t index(std::int64_t n);
+
+  /// In-place Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::int64_t>& items);
+
+  /// Derive an independent stream (for per-layer / per-dataset seeding).
+  Rng fork();
+
+  // Tensor factories ---------------------------------------------------
+  Tensor randn(Shape shape, float mean = 0.f, float stddev = 1.f);
+  Tensor rand_uniform(Shape shape, float lo = 0.f, float hi = 1.f);
+  /// Kaiming-He normal init for a fan_in (ReLU networks).
+  Tensor kaiming_normal(Shape shape, std::int64_t fan_in);
+  /// Xavier/Glorot uniform init.
+  Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out);
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.f;
+};
+
+}  // namespace pecan

@@ -1,0 +1,76 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace pecan {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'C', 'A', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_tensors: truncated file");
+  return value;
+}
+}  // namespace
+
+void save_tensors(const std::string& path, const TensorMap& tensors) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    write_pod(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(out, static_cast<std::uint32_t>(tensor.ndim()));
+    for (std::int64_t d : tensor.shape()) write_pod(out, d);
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
+}
+
+TensorMap load_tensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("load_tensors: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_tensors: unsupported version " + std::to_string(version));
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  TensorMap tensors;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) throw std::runtime_error("load_tensors: truncated name");
+    const auto ndim = read_pod<std::uint32_t>(in);
+    Shape shape(ndim);
+    for (auto& d : shape) d = read_pod<std::int64_t>(in);
+    Tensor tensor(shape);
+    in.read(reinterpret_cast<char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_tensors: truncated data for " + name);
+    tensors.emplace(std::move(name), std::move(tensor));
+  }
+  return tensors;
+}
+
+}  // namespace pecan

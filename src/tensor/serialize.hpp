@@ -1,0 +1,20 @@
+// Binary serialization of named tensor collections (model checkpoints).
+//
+// Format: magic "PCAN" | u32 version | u64 count | per entry:
+//   u32 name_len | name bytes | u32 ndim | i64 dims[ndim] | f32 data[numel].
+// Little-endian host assumed (x86-64 target); files round-trip exactly.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace pecan {
+
+using TensorMap = std::map<std::string, Tensor>;
+
+void save_tensors(const std::string& path, const TensorMap& tensors);
+TensorMap load_tensors(const std::string& path);
+
+}  // namespace pecan

@@ -1,0 +1,84 @@
+#include "tensor/sgemm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace pecan {
+
+namespace {
+constexpr std::int64_t kBlockK = 256;
+
+// Inner kernel on a packed (non-transposed) problem:
+// C[m,n] += alpha * A[m,k] * B[k,n], A row-major lda, B row-major ldb.
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
+             std::int64_t lda, const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
+#ifdef PECAN_HAS_OPENMP
+#pragma omp parallel for schedule(static) if (m * n * k > (1 << 16))
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k, k0 + kBlockK);
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float aik = alpha * a[i * lda + kk];
+        if (aik == 0.f) continue;
+        const float* brow = b + kk * ldb;
+        float* crow = c + i * ldc;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+           float beta, float* c, std::int64_t ldc) {
+  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("sgemm: negative dimension");
+
+  // Scale C by beta first so the accumulating kernel can just add.
+  if (beta != 1.f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      if (beta == 0.f) {
+        std::fill(crow, crow + n, 0.f);
+      } else {
+        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+    }
+  }
+  if (alpha == 0.f || m == 0 || n == 0 || k == 0) return;
+
+  // Transposed operands are packed into temporaries; the packed kernel is
+  // so much more cache-friendly that the copy pays for itself beyond tiny
+  // sizes, and tiny sizes don't matter.
+  std::vector<float> a_packed, b_packed;
+  const float* a_eff = a;
+  std::int64_t lda_eff = lda;
+  if (trans_a) {
+    a_packed.resize(static_cast<std::size_t>(m * k));
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t kk = 0; kk < k; ++kk) a_packed[static_cast<std::size_t>(i * k + kk)] = a[kk * lda + i];
+    }
+    a_eff = a_packed.data();
+    lda_eff = k;
+  }
+  const float* b_eff = b;
+  std::int64_t ldb_eff = ldb;
+  if (trans_b) {
+    b_packed.resize(static_cast<std::size_t>(k * n));
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t j = 0; j < n; ++j) b_packed[static_cast<std::size_t>(kk * n + j)] = b[j * ldb + kk];
+    }
+    b_eff = b_packed.data();
+    ldb_eff = n;
+  }
+  gemm_nn(m, n, k, alpha, a_eff, lda_eff, b_eff, ldb_eff, c, ldc);
+}
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+            std::int64_t k) {
+  sgemm(false, false, m, n, k, 1.f, a, k, b, n, 0.f, c, n);
+}
+
+}  // namespace pecan

@@ -1,0 +1,21 @@
+// Single-precision GEMM, the compute kernel behind Conv2d (im2col),
+// Linear, and the PECAN-A attention scores.
+//
+// Row-major. C[M,N] = alpha * op(A)[M,K] * op(B)[K,N] + beta * C[M,N].
+// Blocked i-k-j loop with OpenMP over row blocks when available — enough
+// to train the paper's CIFAR-scale models on CPU in reasonable time.
+#pragma once
+
+#include <cstdint>
+
+namespace pecan {
+
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+           float beta, float* c, std::int64_t ldc);
+
+/// Convenience: C = A * B for contiguous row-major matrices.
+void matmul(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
+            std::int64_t k);
+
+}  // namespace pecan

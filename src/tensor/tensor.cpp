@@ -1,0 +1,109 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pecan {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("shape_numel: negative dim in " + shape_str(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_numel(shape_)), 0.f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_str(shape_));
+  }
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  if (i < 0) i += ndim();
+  if (i < 0 || i >= ndim()) {
+    throw std::out_of_range("Tensor::dim: axis " + std::to_string(i) + " for shape " +
+                            shape_str(shape_));
+  }
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Tensor::offset(std::initializer_list<std::int64_t> idx) const {
+  if (static_cast<std::int64_t>(idx.size()) != ndim()) {
+    throw std::invalid_argument("Tensor::offset: rank mismatch for shape " + shape_str(shape_));
+  }
+  std::int64_t off = 0;
+  std::size_t axis = 0;
+  for (std::int64_t i : idx) {
+    const std::int64_t d = shape_[axis];
+    if (i < 0 || i >= d) {
+      throw std::out_of_range("Tensor::offset: index " + std::to_string(i) + " out of range on axis " +
+                              std::to_string(axis) + " of " + shape_str(shape_));
+    }
+    off = off * d + i;
+    ++axis;
+  }
+  return off;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(offset(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(offset(idx))];
+}
+
+Tensor Tensor::reshaped(Shape shape) const& {
+  if (shape_numel(shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " + shape_str(shape_) + " -> " +
+                                shape_str(shape));
+  }
+  return Tensor(std::move(shape), data_);
+}
+
+Tensor Tensor::reshaped(Shape shape) && {
+  if (shape_numel(shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " + shape_str(shape_) + " -> " +
+                                shape_str(shape));
+  }
+  return Tensor(std::move(shape), std::move(data_));
+}
+
+void Tensor::fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+Tensor Tensor::transposed_2d() const {
+  if (ndim() != 2) throw std::invalid_argument("transposed_2d: need 2-D, got " + shape_str(shape_));
+  const std::int64_t rows = shape_[0], cols = shape_[1];
+  Tensor out({cols, rows});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out.data()[c * rows + r] = data_[static_cast<std::size_t>(r * cols + c)];
+    }
+  }
+  return out;
+}
+
+}  // namespace pecan

@@ -1,0 +1,118 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pecan {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " + shape_str(a.shape()) +
+                                " vs " + shape_str(b.shape()));
+  }
+}
+}  // namespace
+
+void add_(Tensor& dst, const Tensor& src) {
+  check_same_shape(dst, src, "add_");
+  for (std::int64_t i = 0; i < dst.numel(); ++i) dst[i] += src[i];
+}
+
+void axpy_(Tensor& dst, float alpha, const Tensor& src) {
+  check_same_shape(dst, src, "axpy_");
+  for (std::int64_t i = 0; i < dst.numel(); ++i) dst[i] += alpha * src[i];
+}
+
+void scale_(Tensor& dst, float alpha) {
+  for (std::int64_t i = 0; i < dst.numel(); ++i) dst[i] *= alpha;
+}
+
+void mul_(Tensor& dst, const Tensor& src) {
+  check_same_shape(dst, src, "mul_");
+  for (std::int64_t i = 0; i < dst.numel(); ++i) dst[i] *= src[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  add_(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  mul_(out, b);
+  return out;
+}
+
+float sum(const Tensor& t) {
+  double acc = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) acc += t[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& t) {
+  if (t.numel() == 0) throw std::invalid_argument("mean: empty tensor");
+  return sum(t) / static_cast<float>(t.numel());
+}
+
+float max_abs(const Tensor& t) {
+  float m = 0.f;
+  for (std::int64_t i = 0; i < t.numel(); ++i) m = std::max(m, std::fabs(t[i]));
+  return m;
+}
+
+std::int64_t argmax(const Tensor& t) {
+  if (t.numel() == 0) throw std::invalid_argument("argmax: empty tensor");
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < t.numel(); ++i) {
+    if (t[i] > t[best]) best = i;
+  }
+  return best;
+}
+
+float l1_distance(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "l1_distance");
+  double acc = 0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += std::fabs(a[i] - b[i]);
+  return static_cast<float>(acc);
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot");
+  double acc = 0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+Tensor softmax_lastdim(const Tensor& t, float temperature) {
+  if (t.ndim() == 0 || t.numel() == 0) throw std::invalid_argument("softmax_lastdim: empty tensor");
+  if (temperature <= 0.f) throw std::invalid_argument("softmax_lastdim: temperature must be > 0");
+  const std::int64_t cols = t.dim(-1);
+  const std::int64_t rows = t.numel() / cols;
+  Tensor out(t.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = t.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    double denom = 0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp((in[c] - mx) / temperature);
+      denom += o[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+}  // namespace pecan

@@ -1,0 +1,38 @@
+// Elementwise and reduction helpers on Tensors.
+//
+// These are the small set of BLAS-1-style operations the layer library and
+// the PQ core need; each checks shapes and is covered by unit tests against
+// naive references.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace pecan {
+
+// In-place: dst += src (same shape).
+void add_(Tensor& dst, const Tensor& src);
+// In-place: dst += alpha * src.
+void axpy_(Tensor& dst, float alpha, const Tensor& src);
+// In-place: dst *= alpha.
+void scale_(Tensor& dst, float alpha);
+// In-place elementwise product: dst *= src.
+void mul_(Tensor& dst, const Tensor& src);
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+
+float sum(const Tensor& t);
+float mean(const Tensor& t);
+float max_abs(const Tensor& t);
+/// Index of the maximum element (first on ties). Throws on empty.
+std::int64_t argmax(const Tensor& t);
+/// L1 norm of (a - b) over the whole tensor.
+float l1_distance(const Tensor& a, const Tensor& b);
+/// Dot product over the whole tensor.
+float dot(const Tensor& a, const Tensor& b);
+
+/// Numerically-stable softmax over the last axis, any leading shape.
+Tensor softmax_lastdim(const Tensor& t, float temperature = 1.f);
+
+}  // namespace pecan

@@ -1,0 +1,56 @@
+#include "util/csv_writer.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pecan::util {
+
+namespace {
+std::string join(const std::vector<std::string>& cells) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out << ',';
+    // Quote cells containing separators so the file stays machine-readable.
+    const std::string& c = cells[i];
+    if (c.find_first_of(",\"\n") != std::string::npos) {
+      out << '"';
+      for (char ch : c) {
+        if (ch == '"') out << '"';
+        out << ch;
+      }
+      out << '"';
+    } else {
+      out << c;
+    }
+  }
+  return out.str();
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (columns_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+  out_ << join(header) << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width " + std::to_string(cells.size()) +
+                                " != header width " + std::to_string(columns_));
+  }
+  out_ << join(cells) << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream s;
+    s << v;
+    text.push_back(s.str());
+  }
+  row(text);
+}
+
+}  // namespace pecan::util

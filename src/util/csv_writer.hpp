@@ -1,0 +1,28 @@
+// CSV emitter used by the figure benches (Fig. 3-6) so that the series the
+// paper plots can be regenerated and re-plotted by downstream users.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pecan::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; the column count must match the header.
+  void row(const std::vector<std::string>& cells);
+  void row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace pecan::util

@@ -1,0 +1,57 @@
+#include "util/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pecan::util {
+
+std::string human_count(std::uint64_t n) {
+  char buf[64];
+  const double v = static_cast<double>(n);
+  // The paper reports e.g. "0.61G" rather than "610M": prefer the larger
+  // unit once the count passes 1% of it, mirroring its tables.
+  if (n == 0) {
+    return "0";
+  } else if (v >= 1e7) {
+    if (v >= 1e8) {
+      std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+    }
+  } else if (v >= 1e3) {
+    if (v >= 1e6) {
+      std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.2fK", v / 1e3);
+    }
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+std::string human_count(std::uint64_t n, char unit) {
+  char buf[64];
+  double divisor = 1.0;
+  switch (unit) {
+    case 'K': divisor = 1e3; break;
+    case 'M': divisor = 1e6; break;
+    case 'G': divisor = 1e9; break;
+    default: return human_count(n);
+  }
+  std::snprintf(buf, sizeof buf, "%.2f%c", static_cast<double>(n) / divisor, unit);
+  return buf;
+}
+
+std::string percent(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string pad(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace pecan::util

@@ -1,0 +1,25 @@
+// Human-readable numeric formatting matching the paper's table style
+// (e.g. 248.10K adds, 0.61G multiplications, 92.55% accuracy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pecan::util {
+
+/// 248100 -> "248.10K"; 611000000 -> "0.61G"; 0 -> "0".
+/// Matches the unit breakpoints the paper uses in Tables 2-5 and A2.
+std::string human_count(std::uint64_t n);
+
+/// Forced-unit variant ('K', 'M', or 'G') for tables where the paper pins
+/// one unit per model block (e.g. ResNet rows of Table 3 use M even for
+/// counts above 10^8: 211.71M, 353.26M).
+std::string human_count(std::uint64_t n, char unit);
+
+/// Fixed-point percentage, e.g. 92.549 -> "92.55".
+std::string percent(double value, int decimals = 2);
+
+/// Left-pads/truncates to a column width for the table printers.
+std::string pad(const std::string& text, std::size_t width);
+
+}  // namespace pecan::util

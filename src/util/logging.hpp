@@ -1,0 +1,47 @@
+// Minimal leveled logger used across the PECAN libraries.
+//
+// The logger writes to stderr so that bench harnesses can keep stdout clean
+// for the paper-style tables they print. Levels can be raised globally
+// (e.g. benches default to Warn so progress chatter does not pollute logs).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pecan::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one log line (thread-safe at the line granularity).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_message(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pecan::util
+
+#define PECAN_LOG_DEBUG ::pecan::util::detail::LogStream(::pecan::util::LogLevel::Debug)
+#define PECAN_LOG_INFO ::pecan::util::detail::LogStream(::pecan::util::LogLevel::Info)
+#define PECAN_LOG_WARN ::pecan::util::detail::LogStream(::pecan::util::LogLevel::Warn)
+#define PECAN_LOG_ERROR ::pecan::util::detail::LogStream(::pecan::util::LogLevel::Error)

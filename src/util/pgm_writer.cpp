@@ -1,0 +1,33 @@
+#include "util/pgm_writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace pecan::util {
+
+void write_pgm(const std::string& path, const std::vector<float>& values,
+               std::size_t rows, std::size_t cols) {
+  if (values.size() != rows * cols) {
+    throw std::invalid_argument("write_pgm: size mismatch");
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+
+  const auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  const float mn = values.empty() ? 0.f : *mn_it;
+  const float mx = values.empty() ? 0.f : *mx_it;
+  const float span = mx - mn;
+
+  out << "P2\n" << cols << ' ' << rows << "\n255\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      int v = span > 0 ? static_cast<int>((values[r * cols + c] - mn) / span * 255.f + 0.5f)
+                       : 128;
+      out << std::clamp(v, 0, 255) << (c + 1 == cols ? '\n' : ' ');
+    }
+  }
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+}  // namespace pecan::util

@@ -1,0 +1,19 @@
+// Grayscale PGM (P2) image writer for Fig. 5-style matrix visualizations.
+//
+// The bench that reproduces Fig. 5 dumps the im2col'd feature matrix, its
+// PECAN-D approximation, and the learned codebook as images so the before /
+// after patterns can be inspected exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pecan::util {
+
+/// Writes `rows x cols` values (row-major) to an ASCII PGM, min-max scaled
+/// to [0, 255]. A constant matrix maps to mid-gray. Throws on I/O failure.
+void write_pgm(const std::string& path, const std::vector<float>& values,
+               std::size_t rows, std::size_t cols);
+
+}  // namespace pecan::util

@@ -1,0 +1,123 @@
+// Tests for the synthetic dataset substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+
+namespace pecan::data {
+namespace {
+
+TEST(Synthetic, MnistLikeShapes) {
+  const LabeledData ds = generate(mnist_like_spec(), 50);
+  EXPECT_EQ(ds.images.shape(), (Shape{50, 1, 28, 28}));
+  EXPECT_EQ(ds.labels.size(), 50u);
+  EXPECT_EQ(ds.num_classes, 10);
+  for (std::int64_t label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(Synthetic, Cifar100LikeHasHundredClasses) {
+  const LabeledData ds = generate(cifar100_like_spec(), 200);
+  EXPECT_EQ(ds.images.shape(), (Shape{200, 3, 32, 32}));
+  std::set<std::int64_t> seen(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(seen.size(), 100u);  // balanced round-robin covers all classes
+}
+
+TEST(Synthetic, TinyImagenetLikeShapes) {
+  const LabeledData ds = generate(tiny_imagenet_like_spec(20), 40);
+  EXPECT_EQ(ds.images.shape(), (Shape{40, 3, 64, 64}));
+  EXPECT_EQ(ds.num_classes, 20);
+}
+
+TEST(Synthetic, Deterministic) {
+  const LabeledData a = generate(cifar10_like_spec(), 20);
+  const LabeledData b = generate(cifar10_like_spec(), 20);
+  for (std::int64_t i = 0; i < a.images.numel(); ++i) {
+    ASSERT_EQ(a.images[i], b.images[i]);
+  }
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec spec1 = cifar10_like_spec();
+  SyntheticSpec spec2 = cifar10_like_spec();
+  spec2.seed += 1;
+  const LabeledData a = generate(spec1, 10);
+  const LabeledData b = generate(spec2, 10);
+  float diff = 0;
+  for (std::int64_t i = 0; i < a.images.numel(); ++i) {
+    diff = std::max(diff, std::fabs(a.images[i] - b.images[i]));
+  }
+  EXPECT_GT(diff, 0.f);
+}
+
+TEST(Synthetic, SameClassSamplesCorrelateMoreThanCrossClass) {
+  // The class-conditional structure must be real: same-class pairs are
+  // closer (after noise) than different-class pairs on average.
+  SyntheticSpec spec = mnist_like_spec();
+  spec.max_shift = 0;  // isolate template structure
+  const LabeledData ds = generate(spec, 100);
+  const std::int64_t sz = 28 * 28;
+  auto dist = [&](std::int64_t i, std::int64_t j) {
+    double acc = 0;
+    for (std::int64_t t = 0; t < sz; ++t) {
+      const double diff = ds.images[i * sz + t] - ds.images[j * sz + t];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+  // Samples are round-robin: i and i+10 share a class, i and i+1 do not.
+  double same = 0, cross = 0;
+  int count = 0;
+  for (std::int64_t i = 0; i + 11 < 100; i += 10) {
+    same += dist(i, i + 10);
+    cross += dist(i, i + 1);
+    ++count;
+  }
+  EXPECT_LT(same / count, cross / count);
+}
+
+TEST(Synthetic, SplitIsDisjointDraws) {
+  const TrainTestSplit split = generate_split(mnist_like_spec(), 30, 20);
+  EXPECT_EQ(split.train.size(), 30);
+  EXPECT_EQ(split.test.size(), 20);
+  EXPECT_EQ(split.train.num_classes, 10);
+  EXPECT_EQ(split.test.num_classes, 10);
+  // Same generator stream: first test sample != first train sample.
+  float diff = 0;
+  for (std::int64_t i = 0; i < 28 * 28; ++i) {
+    diff = std::max(diff, std::fabs(split.train.images[i] - split.test.images[i]));
+  }
+  EXPECT_GT(diff, 0.f);
+}
+
+TEST(Dataset, ChannelStatsAndNormalize) {
+  SyntheticSpec spec = cifar10_like_spec();
+  LabeledData ds = generate(spec, 64);
+  const ChannelStats stats = compute_channel_stats(ds.images);
+  ASSERT_EQ(stats.mean.size(), 3u);
+  normalize_(ds.images, stats);
+  const ChannelStats after = compute_channel_stats(ds.images);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(after.mean[c], 0.f, 1e-4);
+    EXPECT_NEAR(after.stddev[c], 1.f, 1e-3);
+  }
+}
+
+TEST(Dataset, TakePrefix) {
+  const LabeledData ds = generate(mnist_like_spec(), 20);
+  const LabeledData head = take(ds, 5);
+  EXPECT_EQ(head.size(), 5);
+  for (std::int64_t i = 0; i < head.images.numel(); ++i) {
+    ASSERT_EQ(head.images[i], ds.images[i]);
+  }
+  EXPECT_THROW(take(ds, 21), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pecan::data

@@ -1,0 +1,158 @@
+// Tests for the complexity formula engine (Table 1) and the energy model
+// (Table 5). Includes the paper's own numbers as golden values.
+#include <gtest/gtest.h>
+
+#include "ops/complexity.hpp"
+#include "ops/energy_model.hpp"
+#include "util/format.hpp"
+
+namespace pecan::ops {
+namespace {
+
+TEST(Complexity, LeNetConv1MatchesTableA2) {
+  // CONV1: cin=1, k=3, cout=8, out 26x26.
+  const ConvDims dims{1, 8, 3, 26, 26};
+  EXPECT_EQ(conv_baseline(dims).muls, 48672u);  // 48.67K
+  EXPECT_EQ(conv_pecan_a(dims, {4, 1, 9}).muls, 45968u);   // 45.97K
+  const OpCount d = conv_pecan_d(dims, {64, 1, 9});
+  EXPECT_EQ(d.adds, 784160u);  // 784.16K
+  EXPECT_EQ(d.muls, 0u);
+}
+
+TEST(Complexity, LeNetConv2MatchesTableA2) {
+  const ConvDims dims{8, 16, 3, 11, 11};
+  EXPECT_EQ(conv_baseline(dims).muls, 139392u);               // 139.39K
+  EXPECT_EQ(conv_pecan_a(dims, {8, 3, 24}).muls, 116160u);    // 116.16K
+  EXPECT_EQ(conv_pecan_d(dims, {64, 8, 9}).adds, 1130624u);   // 1.13M
+}
+
+TEST(Complexity, LeNetFcLayersMatchTableA2) {
+  EXPECT_EQ(fc_baseline(400, 128).muls, 51200u);
+  EXPECT_EQ(fc_pecan_a(400, 128, {8, 25, 16}).muls, 28800u);
+  EXPECT_EQ(fc_pecan_d(400, 128, {64, 50, 8}).adds, 57600u);
+  EXPECT_EQ(fc_baseline(128, 64).muls, 8192u);
+  EXPECT_EQ(fc_pecan_a(128, 64, {8, 8, 16}).muls, 5120u);
+  EXPECT_EQ(fc_pecan_d(128, 64, {64, 16, 8}).adds, 17408u);
+  EXPECT_EQ(fc_baseline(64, 10).muls, 640u);
+  EXPECT_EQ(fc_pecan_a(64, 10, {8, 4, 16}).muls, 832u);
+  EXPECT_EQ(fc_pecan_d(64, 10, {64, 8, 8}).adds, 8272u);
+}
+
+TEST(Complexity, LeNetTotalsMatchTable2) {
+  // Sum of all five layers must reproduce Table 2.
+  OpCount base, a, d;
+  base += conv_baseline({1, 8, 3, 26, 26});
+  base += conv_baseline({8, 16, 3, 11, 11});
+  base += fc_baseline(400, 128);
+  base += fc_baseline(128, 64);
+  base += fc_baseline(64, 10);
+  EXPECT_EQ(util::human_count(base.adds), "248.10K");
+
+  a += conv_pecan_a({1, 8, 3, 26, 26}, {4, 1, 9});
+  a += conv_pecan_a({8, 16, 3, 11, 11}, {8, 3, 24});
+  a += fc_pecan_a(400, 128, {8, 25, 16});
+  a += fc_pecan_a(128, 64, {8, 8, 16});
+  a += fc_pecan_a(64, 10, {8, 4, 16});
+  EXPECT_EQ(util::human_count(a.muls), "196.88K");
+
+  d += conv_pecan_d({1, 8, 3, 26, 26}, {64, 1, 9});
+  d += conv_pecan_d({8, 16, 3, 11, 11}, {64, 8, 9});
+  d += fc_pecan_d(400, 128, {64, 50, 8});
+  d += fc_pecan_d(128, 64, {64, 16, 8});
+  d += fc_pecan_d(64, 10, {64, 8, 8});
+  EXPECT_EQ(d.muls, 0u);
+  EXPECT_EQ(util::human_count(d.adds), "2.00M");
+}
+
+TEST(Complexity, ValidatesGroupFactorization) {
+  const ConvDims dims{8, 16, 3, 11, 11};
+  EXPECT_THROW(conv_pecan_a(dims, {8, 5, 9}), std::invalid_argument);  // 5*9 != 72
+  EXPECT_THROW(conv_pecan_d(dims, {8, 8, 10}), std::invalid_argument);
+  EXPECT_THROW(conv_baseline({0, 1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Complexity, AdderNetDoublesBaselineAdds) {
+  const ConvDims dims{128, 128, 3, 32, 32};
+  const OpCount base = conv_baseline(dims);
+  const OpCount adder = conv_addernet(dims);
+  EXPECT_EQ(adder.adds, 2 * base.adds);
+  EXPECT_EQ(adder.muls, 0u);
+}
+
+TEST(Complexity, PecanACheaperCondition) {
+  // Paper constraint p <= min(lambda*cout, (1-lambda)*d): with p small the
+  // PECAN-A cost p*D*HW*(d+cout) undercuts cin*HW*k^2*cout = D*d*HW*cout.
+  // Cheaper iff p*(d + cout) < d*cout: with d=9, cout=64 the threshold is
+  // p < 576/73 ~ 7.9.
+  const ConvDims dims{16, 64, 3, 32, 32};
+  EXPECT_TRUE(pecan_a_cheaper_than_baseline(dims, {4, 16, 9}));
+  EXPECT_FALSE(pecan_a_cheaper_than_baseline(dims, {8, 16, 9}));
+}
+
+TEST(EnergyModel, Table5GoldenValues) {
+  // VGG-Small: CNN 0.61G/0.61G, AdderNet 0/1.22G, PECAN-D 0/0.37G.
+  const EnergyModel model;
+  const OpCount cnn{610'000'000, 610'000'000};
+  const OpCount adder{1'220'000'000, 0};
+  const OpCount pecan_d{370'000'000, 0};
+
+  // Latency: CNN 0.61*4 + 0.61*2 = 3.66G cycles; AdderNet 2.44G; PECAN-D 0.74G.
+  EXPECT_EQ(model.latency_cycles(cnn), 3'660'000'000u);
+  EXPECT_EQ(model.latency_cycles(adder), 2'440'000'000u);
+  EXPECT_EQ(model.latency_cycles(pecan_d), 740'000'000u);
+
+  // Normalized power: CNN (4+1)*0.61/0.37 = 8.24; AdderNet 1.22/0.37 = 3.30.
+  EXPECT_NEAR(model.normalized_power(cnn, pecan_d), 8.24, 0.01);
+  EXPECT_NEAR(model.normalized_power(adder, pecan_d), 3.30, 0.01);
+  EXPECT_NEAR(model.normalized_power(pecan_d, pecan_d), 1.0, 1e-12);
+}
+
+TEST(Format, HumanCountMatchesPaperStyle) {
+  EXPECT_EQ(util::human_count(248100), "248.10K");
+  EXPECT_EQ(util::human_count(2000000), "2.00M");
+  EXPECT_EQ(util::human_count(610000000), "0.61G");
+  EXPECT_EQ(util::human_count(40550000), "40.55M");
+  EXPECT_EQ(util::human_count(0), "0");
+  EXPECT_EQ(util::human_count(640), "640");
+}
+
+// Property sweep: the PECAN-D formula equals a first-principles count of the
+// two inference stages over a grid of layer configurations.
+struct SweepParam {
+  std::int64_t cin, cout, k, hw, p, d;
+};
+
+class ComplexitySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ComplexitySweep, FormulaMatchesFirstPrinciples) {
+  const auto [cin, cout, k, hw, p, d] = GetParam();
+  const std::int64_t D = cin * k * k / d;
+  const ConvDims dims{cin, cout, k, hw, hw};
+  const PqDims q{p, D, d};
+  // Stage 1 (distances): per column, per group, per prototype: d subs + d
+  // accumulate adds. Stage 2 (lookup): cout adds per group per column.
+  const std::uint64_t cols = static_cast<std::uint64_t>(hw) * hw;
+  const std::uint64_t stage1 = cols * D * p * 2 * d;
+  const std::uint64_t stage2 = cols * D * cout;
+  const OpCount formula = conv_pecan_d(dims, q);
+  EXPECT_EQ(formula.adds, stage1 + stage2);
+  EXPECT_EQ(formula.muls, 0u);
+
+  // PECAN-A: stage 1 is p*d MACs, stage 2 p*cout MACs per group per column.
+  const OpCount formula_a = conv_pecan_a(dims, q);
+  EXPECT_EQ(formula_a.muls, cols * D * p * (static_cast<std::uint64_t>(d) + cout));
+  EXPECT_EQ(formula_a.adds, formula_a.muls);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ComplexitySweep,
+                         ::testing::Values(SweepParam{1, 8, 3, 26, 4, 9},
+                                           SweepParam{8, 16, 3, 11, 64, 9},
+                                           SweepParam{16, 16, 3, 32, 8, 9},
+                                           SweepParam{32, 32, 3, 16, 64, 3},
+                                           SweepParam{64, 64, 3, 8, 64, 16},
+                                           SweepParam{128, 128, 3, 32, 16, 9},
+                                           SweepParam{256, 256, 5, 16, 32, 25},
+                                           SweepParam{3, 128, 3, 32, 32, 3}));
+
+}  // namespace
+}  // namespace pecan::ops

@@ -1,0 +1,214 @@
+// Unit tests for the tensor substrate: Tensor, elementwise ops, sgemm, Rng,
+// serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <cstdio>
+
+#include "tensor/rng.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/sgemm.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace pecan {
+namespace {
+
+TEST(Tensor, ShapeAndFill) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(-1), 4);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+  t.fill(2.5f);
+  EXPECT_EQ(t[13], 2.5f);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.f;
+  EXPECT_EQ(t[5], 7.f);
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r[7], 7.f);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, Transpose2d) {
+  Tensor t({2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  Tensor tt = t.transposed_2d();
+  EXPECT_EQ(tt.dim(0), 3);
+  EXPECT_EQ(tt.at({2, 1}), t.at({1, 2}));
+}
+
+TEST(TensorOps, AddSubMul) {
+  Tensor a({4}, std::vector<float>{1, 2, 3, 4});
+  Tensor b({4}, std::vector<float>{4, 3, 2, 1});
+  Tensor s = add(a, b);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(s[i], 5.f);
+  Tensor d = sub(a, b);
+  EXPECT_FLOAT_EQ(d[0], -3.f);
+  Tensor m = mul(a, b);
+  EXPECT_FLOAT_EQ(m[1], 6.f);
+  EXPECT_THROW(add(a, Tensor({3})), std::invalid_argument);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor a({4}, std::vector<float>{1, -5, 3, 4});
+  EXPECT_FLOAT_EQ(sum(a), 3.f);
+  EXPECT_FLOAT_EQ(mean(a), 0.75f);
+  EXPECT_FLOAT_EQ(max_abs(a), 5.f);
+  EXPECT_EQ(argmax(a), 3);
+}
+
+TEST(TensorOps, L1AndDot) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{2, 0, 3});
+  EXPECT_FLOAT_EQ(l1_distance(a, b), 3.f);
+  EXPECT_FLOAT_EQ(dot(a, b), 11.f);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor t = rng.randn({4, 7});
+  Tensor s = softmax_lastdim(t, 0.7f);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    double total = 0;
+    for (std::int64_t c = 0; c < 7; ++c) {
+      const float v = s[r * 7 + c];
+      EXPECT_GT(v, 0.f);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorOps, SoftmaxTemperatureSharpens) {
+  Tensor t({1, 3}, std::vector<float>{1.f, 2.f, 3.f});
+  Tensor sharp = softmax_lastdim(t, 0.1f);
+  Tensor smooth = softmax_lastdim(t, 10.f);
+  EXPECT_GT(sharp[2], smooth[2]);
+  EXPECT_LT(sharp[0], smooth[0]);
+}
+
+TEST(Sgemm, MatchesNaive) {
+  Rng rng(11);
+  const std::int64_t m = 7, n = 9, k = 5;
+  Tensor a = rng.randn({m, k});
+  Tensor b = rng.randn({k, n});
+  Tensor c({m, n});
+  matmul(a.data(), b.data(), c.data(), m, n, k);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      EXPECT_NEAR(c[i * n + j], acc, 1e-4) << i << "," << j;
+    }
+  }
+}
+
+TEST(Sgemm, TransposeFlags) {
+  Rng rng(13);
+  const std::int64_t m = 4, n = 6, k = 3;
+  Tensor a = rng.randn({k, m});  // will be used transposed
+  Tensor b = rng.randn({n, k});  // will be used transposed
+  Tensor c({m, n});
+  sgemm(true, true, m, n, k, 1.f, a.data(), m, b.data(), k, 0.f, c.data(), n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[kk * m + i]) * b[j * k + kk];
+      }
+      EXPECT_NEAR(c[i * n + j], acc, 1e-4);
+    }
+  }
+}
+
+TEST(Sgemm, AlphaBetaAccumulate) {
+  Tensor a({1, 1}, std::vector<float>{2.f});
+  Tensor b({1, 1}, std::vector<float>{3.f});
+  Tensor c({1, 1}, std::vector<float>{10.f});
+  sgemm(false, false, 1, 1, 1, 2.f, a.data(), 1, b.data(), 1, 0.5f, c.data(), 1);
+  EXPECT_FLOAT_EQ(c[0], 2.f * 6.f + 5.f);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.f, 5.f);
+    EXPECT_GE(v, -2.f);
+    EXPECT_LT(v, 5.f);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const float v = rng.normal();
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<std::int64_t> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  rng.shuffle(items);
+  std::vector<std::int64_t> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::int64_t i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, KaimingVariance) {
+  Rng rng(29);
+  Tensor w = rng.kaiming_normal({64, 144}, 144);
+  double sq = 0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) sq += static_cast<double>(w[i]) * w[i];
+  EXPECT_NEAR(sq / static_cast<double>(w.numel()), 2.0 / 144.0, 2e-3);
+}
+
+TEST(Serialize, RoundTrip) {
+  Rng rng(31);
+  TensorMap original;
+  original["conv.weight"] = rng.randn({8, 9});
+  original["fc.bias"] = rng.randn({10});
+  const std::string path = "/tmp/pecan_serialize_test.bin";
+  save_tensors(path, original);
+  TensorMap loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  for (const auto& [name, tensor] : original) {
+    ASSERT_TRUE(loaded.count(name));
+    const Tensor& other = loaded.at(name);
+    ASSERT_TRUE(tensor.same_shape(other));
+    for (std::int64_t i = 0; i < tensor.numel(); ++i) EXPECT_EQ(tensor[i], other[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadFileThrows) {
+  EXPECT_THROW(load_tensors("/tmp/definitely_missing_pecan_file.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pecan

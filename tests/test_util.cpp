@@ -1,0 +1,113 @@
+// Tests for the utility substrate: CLI parsing, CSV/PGM writers, formatting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv_writer.hpp"
+#include "util/format.hpp"
+#include "util/pgm_writer.hpp"
+
+namespace pecan::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Cli, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--epochs", "10", "--lr", "0.01", "--verbose"};
+  Args args(6, argv);
+  EXPECT_EQ(args.get_int("epochs", 0), 10);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0), 0.01);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Cli, BareFlagBeforeAnotherKey) {
+  const char* argv[] = {"prog", "--quick", "--epochs", "3"};
+  Args args(4, argv);
+  EXPECT_TRUE(args.get_bool("quick", false));
+  EXPECT_EQ(args.get_int("epochs", 0), 3);
+}
+
+TEST(Cli, RejectsPositional) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, TracksUnusedKeys) {
+  const char* argv[] = {"prog", "--used", "1", "--typoed", "2"};
+  Args args(5, argv);
+  args.get_int("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typoed");
+}
+
+TEST(Csv, WritesHeaderAndQuotedCells) {
+  const std::string path = "/tmp/pecan_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row(std::vector<std::string>{"1", "with,comma"});
+    csv.row(std::vector<double>{2.5, 3.0});
+  }
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(content.find("2.5,3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  const std::string path = "/tmp/pecan_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, WritesValidHeaderAndScales) {
+  const std::string path = "/tmp/pecan_pgm_test.pgm";
+  write_pgm(path, {0.f, 0.5f, 1.f, 0.25f}, 2, 2);
+  const std::string content = read_file(path);
+  EXPECT_EQ(content.rfind("P2\n2 2\n255\n", 0), 0u);
+  EXPECT_NE(content.find("255"), std::string::npos);  // max maps to 255
+  EXPECT_NE(content.find("0"), std::string::npos);    // min maps to 0
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, ConstantImageIsMidGray) {
+  const std::string path = "/tmp/pecan_pgm_test2.pgm";
+  write_pgm(path, {3.f, 3.f}, 1, 2);
+  const std::string content = read_file(path);
+  EXPECT_NE(content.find("128 128"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, RejectsSizeMismatch) {
+  EXPECT_THROW(write_pgm("/tmp/x.pgm", {1.f, 2.f}, 2, 2), std::invalid_argument);
+}
+
+TEST(Format, ForcedUnits) {
+  EXPECT_EQ(human_count(211710000, 'M'), "211.71M");
+  EXPECT_EQ(human_count(353260000, 'M'), "353.26M");
+  EXPECT_EQ(human_count(730000000, 'G'), "0.73G");
+  EXPECT_EQ(human_count(248100, 'K'), "248.10K");
+  // Unknown unit falls back to auto.
+  EXPECT_EQ(human_count(248100, 'X'), "248.10K");
+}
+
+TEST(Format, PercentAndPad) {
+  EXPECT_EQ(percent(92.549), "92.55");
+  EXPECT_EQ(percent(1.0, 0), "1");
+  EXPECT_EQ(pad("ab", 5), "ab   ");
+  EXPECT_EQ(pad("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace pecan::util
