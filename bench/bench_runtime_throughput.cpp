@@ -1,0 +1,175 @@
+// Serving-engine throughput/latency bench.
+//
+// Measures, for LeNet5 and VGG-Small in both PECAN execution paths:
+//   * sequential baseline: per-sample forward() at 1 thread (the seed's
+//     serving story) — images/sec;
+//   * batched + threaded: runtime::Engine::forward_batch at --threads —
+//     images/sec and the speedup over the baseline;
+//   * micro-batched serving: Engine::submit request stream — p50/p99
+//     end-to-end latency and the average coalesced batch size.
+//
+// Weights are randomly initialized — arithmetic cost is shape-determined,
+// so trained weights would time identically. Defaults are sized for a CI
+// smoke run; scale --lenet-samples / --vgg-samples / --latency-requests up
+// for stable numbers. The speedup column only shows hardware parallelism
+// when the machine has it (flagged when hardware_concurrency < --threads).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/lenet.hpp"
+#include "models/vgg_small.hpp"
+#include "runtime/engine.hpp"
+#include "tensor/rng.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace pecan;
+
+struct ModelSpec {
+  const char* name;
+  const char* family;
+  models::Variant variant;
+  std::int64_t c, h, w;
+  std::int64_t samples;
+};
+
+std::unique_ptr<nn::Sequential> build(const ModelSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  if (std::string(spec.family) == "lenet5") return models::make_lenet5(spec.variant, rng);
+  return models::make_vgg_small(spec.variant, /*num_classes=*/10, rng);
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  return values[index];
+}
+
+void run_spec(const ModelSpec& spec, runtime::ExecPath path, int threads, std::int64_t batch,
+              std::int64_t latency_requests) {
+  Rng data_rng(1234);
+  const Tensor inputs = data_rng.randn({spec.samples, spec.c, spec.h, spec.w});
+  const std::int64_t sample_numel = spec.c * spec.h * spec.w;
+  const char* path_name = path == runtime::ExecPath::Float ? "float" : "cam";
+
+  // Sequential baseline: one sample at a time, one thread.
+  util::set_global_threads(1);
+  double base_s;
+  {
+    runtime::Engine engine(build(spec, 99), {path, /*max_batch=*/1});
+    util::Timer timer;
+    for (std::int64_t s = 0; s < spec.samples; ++s) {
+      Tensor sample({1, spec.c, spec.h, spec.w});
+      std::copy(inputs.data() + s * sample_numel, inputs.data() + (s + 1) * sample_numel,
+                sample.data());
+      engine.forward_batch(sample);
+    }
+    base_s = timer.elapsed_s();
+  }
+  const double base_ips = static_cast<double>(spec.samples) / base_s;
+
+  // Batched + threaded.
+  util::set_global_threads(threads);
+  double thr_s;
+  {
+    runtime::Engine engine(build(spec, 99), {path, batch});
+    util::Timer timer;
+    for (std::int64_t s0 = 0; s0 < spec.samples; s0 += batch) {
+      const std::int64_t b = std::min(batch, spec.samples - s0);
+      Tensor chunk({b, spec.c, spec.h, spec.w});
+      std::copy(inputs.data() + s0 * sample_numel, inputs.data() + (s0 + b) * sample_numel,
+                chunk.data());
+      engine.forward_batch(chunk);
+    }
+    thr_s = timer.elapsed_s();
+  }
+  const double thr_ips = static_cast<double>(spec.samples) / thr_s;
+
+  // Micro-batched request stream: submit single samples, collect futures.
+  std::vector<double> latencies_ms;
+  double avg_batch = 0.0;
+  {
+    runtime::Engine engine(build(spec, 99), {path, batch, std::chrono::microseconds(500)});
+    std::vector<std::chrono::steady_clock::time_point> starts;
+    std::vector<std::future<Tensor>> futures;
+    starts.reserve(static_cast<std::size_t>(latency_requests));
+    for (std::int64_t r = 0; r < latency_requests; ++r) {
+      const std::int64_t s = r % spec.samples;
+      Tensor sample({spec.c, spec.h, spec.w});
+      std::copy(inputs.data() + s * sample_numel, inputs.data() + (s + 1) * sample_numel,
+                sample.data());
+      starts.push_back(std::chrono::steady_clock::now());
+      futures.push_back(engine.submit(std::move(sample)));
+    }
+    for (std::size_t r = 0; r < futures.size(); ++r) {
+      futures[r].get();
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - starts[r])
+              .count());
+    }
+    engine.shutdown();
+    const runtime::EngineStats stats = engine.stats();
+    avg_batch = stats.batches == 0 ? 0.0
+                                   : static_cast<double>(stats.batched_samples) /
+                                         static_cast<double>(stats.batches);
+  }
+
+  std::printf("%-10s %-6s %8.2f %10.2f %7.2fx %9.1f %9.1f %7.1f\n", spec.name, path_name,
+              base_ips, thr_ips, thr_ips / base_ips, percentile(latencies_ms, 0.50),
+              percentile(latencies_ms, 0.99), avg_batch);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const int threads = static_cast<int>(args.get_int("threads", 4));
+  const std::int64_t batch = args.get_int("batch", 8);
+  const std::int64_t lenet_samples = args.get_int("lenet-samples", 64);
+  const std::int64_t vgg_samples = args.get_int("vgg-samples", 4);
+  const std::int64_t latency_requests = args.get_int("latency-requests", 24);
+  const bool skip_vgg = args.get_bool("skip-vgg", false);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("runtime serving bench: threads=%d batch=%lld (hardware_concurrency=%u)\n", threads,
+              static_cast<long long>(batch), hw);
+  if (hw < static_cast<unsigned>(threads)) {
+    std::printf("note: only %u hardware threads — speedup over the 1-thread baseline is\n"
+                "      bounded by the hardware, not by the engine\n",
+                hw);
+  }
+  std::printf("%-10s %-6s %8s %10s %8s %9s %9s %7s\n", "model", "path", "base i/s", "thr i/s",
+              "speedup", "p50 ms", "p99 ms", "avg b");
+
+  const ModelSpec lenet_d{"lenet5-D", "lenet5", models::Variant::PecanD, 1, 28, 28, lenet_samples};
+  const ModelSpec lenet_a{"lenet5-A", "lenet5", models::Variant::PecanA, 1, 28, 28, lenet_samples};
+  const ModelSpec vgg_d{"vgg-s-D", "vgg_small", models::Variant::PecanD, 3, 32, 32, vgg_samples};
+  const ModelSpec vgg_a{"vgg-s-A", "vgg_small", models::Variant::PecanA, 3, 32, 32, vgg_samples};
+
+  for (const auto& spec : {lenet_d, lenet_a}) {
+    run_spec(spec, runtime::ExecPath::Float, threads, batch, latency_requests);
+    run_spec(spec, runtime::ExecPath::Cam, threads, batch, latency_requests);
+  }
+  if (!skip_vgg) {
+    for (const auto& spec : {vgg_d, vgg_a}) {
+      run_spec(spec, runtime::ExecPath::Float, threads, batch, latency_requests);
+      run_spec(spec, runtime::ExecPath::Cam, threads, batch,
+               std::min<std::int64_t>(latency_requests, 8));
+    }
+  }
+
+  for (const std::string& key : args.unused()) {
+    std::fprintf(stderr, "warning: unused argument --%s\n", key.c_str());
+  }
+  return 0;
+}

@@ -16,7 +16,7 @@ CamArray::CamArray(Tensor words, SearchMetric metric)
 }
 
 std::int64_t CamArray::search(const float* query, std::int64_t stride, OpCounter& counter) const {
-  ++counter.cam_searches;
+  counter.cam_searches.fetch_add(1, std::memory_order_relaxed);
   std::int64_t best = 0;
   if (metric_ == SearchMetric::L1BestMatch) {
     float best_dist = std::numeric_limits<float>::max();
@@ -30,7 +30,7 @@ std::int64_t CamArray::search(const float* query, std::int64_t stride, OpCounter
       }
     }
     // Match-line arithmetic: per word, d subtractions + d accumulations.
-    counter.adds += static_cast<std::uint64_t>(2 * p_ * d_);
+    counter.adds.fetch_add(static_cast<std::uint64_t>(2 * p_ * d_), std::memory_order_relaxed);
   } else {
     float best_score = -std::numeric_limits<float>::max();
     for (std::int64_t m = 0; m < p_; ++m) {
@@ -42,8 +42,8 @@ std::int64_t CamArray::search(const float* query, std::int64_t stride, OpCounter
         best = m;
       }
     }
-    counter.adds += static_cast<std::uint64_t>(p_ * d_);
-    counter.muls += static_cast<std::uint64_t>(p_ * d_);
+    counter.adds.fetch_add(static_cast<std::uint64_t>(p_ * d_), std::memory_order_relaxed);
+    counter.muls.fetch_add(static_cast<std::uint64_t>(p_ * d_), std::memory_order_relaxed);
   }
   record_usage(best);
   return best;
@@ -51,15 +51,15 @@ std::int64_t CamArray::search(const float* query, std::int64_t stride, OpCounter
 
 void CamArray::similarity_scores(const float* query, std::int64_t stride, float* scores,
                                  OpCounter& counter) const {
-  ++counter.cam_searches;
+  counter.cam_searches.fetch_add(1, std::memory_order_relaxed);
   for (std::int64_t m = 0; m < p_; ++m) {
     const float* w = words_.data() + m * d_;
     float score = 0.f;
     for (std::int64_t i = 0; i < d_; ++i) score += query[i * stride] * w[i];
     scores[m] = score;
   }
-  counter.adds += static_cast<std::uint64_t>(p_ * d_);
-  counter.muls += static_cast<std::uint64_t>(p_ * d_);
+  counter.adds.fetch_add(static_cast<std::uint64_t>(p_ * d_), std::memory_order_relaxed);
+  counter.muls.fetch_add(static_cast<std::uint64_t>(p_ * d_), std::memory_order_relaxed);
 }
 
 std::vector<std::int64_t> CamArray::prune_unused() {

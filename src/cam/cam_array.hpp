@@ -12,6 +12,7 @@
 // pruning never-used words (§5 of the paper).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -44,8 +45,13 @@ class CamArray {
   void similarity_scores(const float* query, std::int64_t stride, float* scores,
                          OpCounter& counter) const;
 
-  /// Usage histogram maintenance (Fig. 6).
-  void record_usage(std::int64_t word) const { ++usage_[static_cast<std::size_t>(word)]; }
+  /// Usage histogram maintenance (Fig. 6). Atomic: the runtime engine
+  /// searches one array from many lanes concurrently and the histogram
+  /// feeds §5 pruning decisions, so drops are not acceptable.
+  void record_usage(std::int64_t word) const {
+    std::atomic_ref<std::uint64_t>(usage_[static_cast<std::size_t>(word)])
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   const std::vector<std::uint64_t>& usage() const { return usage_; }
   void reset_usage() const { std::fill(usage_.begin(), usage_.end(), 0); }
 

@@ -6,6 +6,7 @@
 #include "nn/im2col.hpp"
 #include "ops/complexity.hpp"
 #include "tensor/sgemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pecan::cam {
 
@@ -60,8 +61,6 @@ Tensor CamConv2d::forward(const Tensor& input) {
 
   Tensor cols({rows, len});
   Tensor output({n, cout_, g.hout(), g.wout()});
-  std::vector<float> scores(static_cast<std::size_t>(p_));
-  std::vector<float> weights(static_cast<std::size_t>(p_));
 
   for (std::int64_t s = 0; s < n; ++s) {
     nn::im2col(input.data() + s * cin_ * hin * win, g, cols.data());
@@ -71,39 +70,53 @@ Tensor CamConv2d::forward(const Tensor& input) {
         for (std::int64_t l = 0; l < len; ++l) out_s[c * len + l] = bias_[c];
       }
     }
-    for (std::int64_t l = 0; l < len; ++l) {
-      for (std::int64_t j = 0; j < D; ++j) {
-        const float* query = cols.data() + j * d_ * len + l;
-        if (mode_ == pq::MatchMode::Distance) {
-          // Algorithm 1, lines 10-11: CAM best-match + LUT accumulate.
-          const std::int64_t hit = arrays_[static_cast<std::size_t>(j)].search(query, len, *counter_);
-          luts_[static_cast<std::size_t>(j)].accumulate(hit, out_s + l, len, *counter_);
-        } else {
-          // Algorithm 1, line 7: match-line scores -> softmax -> weighted sum.
-          arrays_[static_cast<std::size_t>(j)].similarity_scores(query, len, scores.data(),
-                                                                 *counter_);
-          float mx = scores[0];
-          std::int64_t best = 0;
-          for (std::int64_t m = 1; m < p_; ++m) {
-            if (scores[static_cast<std::size_t>(m)] > mx) {
-              mx = scores[static_cast<std::size_t>(m)];
-              best = m;
+    // Output locations (columns) are the parallel axis of Algorithm 1:
+    // each column l touches only out_s[.., l], arrays are read-only during
+    // search, and counter/usage updates are atomic. Each lane carries its
+    // own score/weight scratch.
+    const std::int64_t column_cost = std::max<std::int64_t>(D * p_ * d_, 1);
+    const std::int64_t grain = std::max<std::int64_t>(1, (1 << 12) / column_cost);
+    util::parallel_for(
+        0, len,
+        [&](std::int64_t l0, std::int64_t l1) {
+          std::vector<float> scores(static_cast<std::size_t>(p_));
+          std::vector<float> weights(static_cast<std::size_t>(p_));
+          for (std::int64_t l = l0; l < l1; ++l) {
+            for (std::int64_t j = 0; j < D; ++j) {
+              const float* query = cols.data() + j * d_ * len + l;
+              if (mode_ == pq::MatchMode::Distance) {
+                // Algorithm 1, lines 10-11: CAM best-match + LUT accumulate.
+                const std::int64_t hit =
+                    arrays_[static_cast<std::size_t>(j)].search(query, len, *counter_);
+                luts_[static_cast<std::size_t>(j)].accumulate(hit, out_s + l, len, *counter_);
+              } else {
+                // Algorithm 1, line 7: match-line scores -> softmax -> weighted sum.
+                arrays_[static_cast<std::size_t>(j)].similarity_scores(query, len, scores.data(),
+                                                                       *counter_);
+                float mx = scores[0];
+                std::int64_t best = 0;
+                for (std::int64_t m = 1; m < p_; ++m) {
+                  if (scores[static_cast<std::size_t>(m)] > mx) {
+                    mx = scores[static_cast<std::size_t>(m)];
+                    best = m;
+                  }
+                }
+                arrays_[static_cast<std::size_t>(j)].record_usage(best);
+                double denom = 0;
+                for (std::int64_t m = 0; m < p_; ++m) {
+                  weights[static_cast<std::size_t>(m)] =
+                      std::exp((scores[static_cast<std::size_t>(m)] - mx) / temperature_);
+                  denom += weights[static_cast<std::size_t>(m)];
+                }
+                const float inv = static_cast<float>(1.0 / denom);
+                for (std::int64_t m = 0; m < p_; ++m) weights[static_cast<std::size_t>(m)] *= inv;
+                luts_[static_cast<std::size_t>(j)].weighted_accumulate(weights.data(), out_s + l,
+                                                                      len, *counter_);
+              }
             }
           }
-          arrays_[static_cast<std::size_t>(j)].record_usage(best);
-          double denom = 0;
-          for (std::int64_t m = 0; m < p_; ++m) {
-            weights[static_cast<std::size_t>(m)] =
-                std::exp((scores[static_cast<std::size_t>(m)] - mx) / temperature_);
-            denom += weights[static_cast<std::size_t>(m)];
-          }
-          const float inv = static_cast<float>(1.0 / denom);
-          for (std::int64_t m = 0; m < p_; ++m) weights[static_cast<std::size_t>(m)] *= inv;
-          luts_[static_cast<std::size_t>(j)].weighted_accumulate(weights.data(), out_s + l, len,
-                                                                 *counter_);
-        }
-      }
-    }
+        },
+        grain);
   }
   return output;
 }

@@ -16,8 +16,8 @@ void LutMemory::accumulate(std::int64_t k, float* out, std::int64_t out_stride,
   if (k < 0 || k >= p_) throw std::out_of_range("LutMemory: entry out of range");
   const float* col = table_.data() + k;
   for (std::int64_t c = 0; c < cout_; ++c) out[c * out_stride] += col[c * p_];
-  counter.adds += static_cast<std::uint64_t>(cout_);
-  ++counter.lut_reads;
+  counter.adds.fetch_add(static_cast<std::uint64_t>(cout_), std::memory_order_relaxed);
+  counter.lut_reads.fetch_add(1, std::memory_order_relaxed);
 }
 
 void LutMemory::weighted_accumulate(const float* weights, float* out, std::int64_t out_stride,
@@ -28,9 +28,9 @@ void LutMemory::weighted_accumulate(const float* weights, float* out, std::int64
     for (std::int64_t m = 0; m < p_; ++m) acc += weights[m] * row[m];
     out[c * out_stride] += acc;
   }
-  counter.adds += static_cast<std::uint64_t>(cout_ * p_);
-  counter.muls += static_cast<std::uint64_t>(cout_ * p_);
-  ++counter.lut_reads;
+  counter.adds.fetch_add(static_cast<std::uint64_t>(cout_ * p_), std::memory_order_relaxed);
+  counter.muls.fetch_add(static_cast<std::uint64_t>(cout_ * p_), std::memory_order_relaxed);
+  counter.lut_reads.fetch_add(1, std::memory_order_relaxed);
 }
 
 void LutMemory::keep_entries(const std::vector<std::int64_t>& kept) {

@@ -6,8 +6,14 @@
 // convention is followed: only the two inference stages of Algorithm 1 are
 // counted — softmax exponentials, ReLU/pool comparisons, bias adds, and
 // residual adds are excluded, exactly as Tables 1-5 exclude them.
+//
+// Fields are relaxed atomics: the runtime engine executes CAM searches and
+// LUT accumulates from many worker lanes at once, and op counts must stay
+// exact (counters are the paper's headline metric, not a debug statistic).
+// Relaxed ordering suffices — counts are only read after joining.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "ops/op_count.hpp"
@@ -15,14 +21,25 @@
 namespace pecan::cam {
 
 struct OpCounter {
-  std::uint64_t adds = 0;
-  std::uint64_t muls = 0;
-  std::uint64_t cam_searches = 0;  ///< best-match queries issued
-  std::uint64_t lut_reads = 0;     ///< rows fetched from lookup tables
+  std::atomic<std::uint64_t> adds{0};
+  std::atomic<std::uint64_t> muls{0};
+  std::atomic<std::uint64_t> cam_searches{0};  ///< best-match queries issued
+  std::atomic<std::uint64_t> lut_reads{0};     ///< rows fetched from lookup tables
 
-  void reset() { *this = OpCounter{}; }
+  OpCounter() = default;
+  OpCounter(const OpCounter&) = delete;
+  OpCounter& operator=(const OpCounter&) = delete;
 
-  ops::OpCount arithmetic() const { return {adds, muls}; }
+  void reset() {
+    adds.store(0, std::memory_order_relaxed);
+    muls.store(0, std::memory_order_relaxed);
+    cam_searches.store(0, std::memory_order_relaxed);
+    lut_reads.store(0, std::memory_order_relaxed);
+  }
+
+  ops::OpCount arithmetic() const {
+    return {adds.load(std::memory_order_relaxed), muls.load(std::memory_order_relaxed)};
+  }
 };
 
 }  // namespace pecan::cam

@@ -7,6 +7,7 @@
 
 #include "ops/complexity.hpp"
 #include "tensor/sgemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pecan::pq {
 
@@ -79,41 +80,50 @@ void PecanConv2d::match_group(std::int64_t j, const float* cols, std::int64_t le
       if (hard_out) hard_out[l] = best;
     }
   } else {
-    // dist[m, l] = -||X_l - C_m||_1 (adds/subs only).
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(static) if (p_ * len * d_ > (1 << 14))
-#endif
-    for (std::int64_t m = 0; m < p_; ++m) {
-      const float* proto = codebook_.prototype(j, m);
-      float* row = k_out + m * len;
-      for (std::int64_t l = 0; l < len; ++l) {
-        float acc = 0.f;
-        for (std::int64_t i = 0; i < d_; ++i) acc += std::fabs(xj[i * len + l] - proto[i]);
-        row[l] = -acc;
-      }
-    }
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(static) if (p_ * len > (1 << 12))
-#endif
-    for (std::int64_t l = 0; l < len; ++l) {
-      std::int64_t best = 0;
-      for (std::int64_t m = 1; m < p_; ++m) {
-        if (k_out[m * len + l] > k_out[best * len + l]) best = m;
-      }
-      if (hard_out) hard_out[l] = best;
-      if (training_path) {
-        // Eq. (4): softmax of the (negative) distances with temperature.
-        const float mx = k_out[best * len + l];
-        double denom = 0;
-        for (std::int64_t m = 0; m < p_; ++m) {
-          float& v = k_out[m * len + l];
-          v = std::exp((v - mx) / tau);
-          denom += v;
-        }
-        const float inv = static_cast<float>(1.0 / denom);
-        for (std::int64_t m = 0; m < p_; ++m) k_out[m * len + l] *= inv;
-      }
-    }
+    // dist[m, l] = -||X_l - C_m||_1 (adds/subs only). Parallel over
+    // prototypes: each lane writes a disjoint row block of k_out. These
+    // inner loops only spread when the group loop above runs serial
+    // (few-group layers); under the parallel group loop they run inline.
+    const std::int64_t scan_grain = std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(len * d_, 1));
+    util::parallel_for(
+        0, p_,
+        [&](std::int64_t m0, std::int64_t m1) {
+          for (std::int64_t m = m0; m < m1; ++m) {
+            const float* proto = codebook_.prototype(j, m);
+            float* row = k_out + m * len;
+            for (std::int64_t l = 0; l < len; ++l) {
+              float acc = 0.f;
+              for (std::int64_t i = 0; i < d_; ++i) acc += std::fabs(xj[i * len + l] - proto[i]);
+              row[l] = -acc;
+            }
+          }
+        },
+        scan_grain);
+    const std::int64_t argmax_grain = std::max<std::int64_t>(1, (1 << 12) / std::max<std::int64_t>(p_, 1));
+    util::parallel_for(
+        0, len,
+        [&](std::int64_t l0, std::int64_t l1) {
+          for (std::int64_t l = l0; l < l1; ++l) {
+            std::int64_t best = 0;
+            for (std::int64_t m = 1; m < p_; ++m) {
+              if (k_out[m * len + l] > k_out[best * len + l]) best = m;
+            }
+            if (hard_out) hard_out[l] = best;
+            if (training_path) {
+              // Eq. (4): softmax of the (negative) distances with temperature.
+              const float mx = k_out[best * len + l];
+              double denom = 0;
+              for (std::int64_t m = 0; m < p_; ++m) {
+                float& v = k_out[m * len + l];
+                v = std::exp((v - mx) / tau);
+                denom += v;
+              }
+              const float inv = static_cast<float>(1.0 / denom);
+              for (std::int64_t m = 0; m < p_; ++m) k_out[m * len + l] *= inv;
+            }
+          }
+        },
+        argmax_grain);
   }
 }
 
@@ -143,43 +153,46 @@ Tensor PecanConv2d::forward(const Tensor& input) {
   Tensor xq({rows, len});
 
   // Groups are fully independent, so the group loop is the parallel axis
-  // (inner OMP pragmas in match_group stay dormant under nesting); layers
+  // (nested parallel_for calls in match_group degrade to inline); layers
   // with few groups fall back to the inner-loop parallelism instead.
-  const bool par_groups = D_ >= 8;
+  const std::int64_t group_grain = D_ >= 8 ? 1 : D_;
   for (std::int64_t s = 0; s < n; ++s) {
     nn::im2col(input.data() + s * cin_ * hin * win, g, cols.data());
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(dynamic) if (par_groups)
-#endif
-    for (std::int64_t j = 0; j < D_; ++j) {
-      std::vector<float> k_local;
-      std::vector<std::int64_t> hard_local;
-      float* k_buf;
-      std::int64_t* hard_buf;
-      if (cache) {
-        k_buf = cached_k_.data() + ((s * D_ + j) * p_) * len;
-        hard_buf = cached_hard_.data() + (s * D_ + j) * len;
-      } else {
-        k_local.resize(static_cast<std::size_t>(p_ * len));
-        hard_local.resize(static_cast<std::size_t>(len));
-        k_buf = k_local.data();
-        hard_buf = hard_local.data();
-      }
-      match_group(j, cols.data() + j * d_ * len, len, k_buf, hard_buf, /*training_path=*/cache);
+    util::parallel_for(
+        0, D_,
+        [&](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t j = j0; j < j1; ++j) {
+            std::vector<float> k_local;
+            std::vector<std::int64_t> hard_local;
+            float* k_buf;
+            std::int64_t* hard_buf;
+            if (cache) {
+              k_buf = cached_k_.data() + ((s * D_ + j) * p_) * len;
+              hard_buf = cached_hard_.data() + (s * D_ + j) * len;
+            } else {
+              k_local.resize(static_cast<std::size_t>(p_ * len));
+              hard_local.resize(static_cast<std::size_t>(len));
+              k_buf = k_local.data();
+              hard_buf = hard_local.data();
+            }
+            match_group(j, cols.data() + j * d_ * len, len, k_buf, hard_buf,
+                        /*training_path=*/cache);
 
-      float* xq_group = xq.data() + j * d_ * len;
-      if (config_.mode == MatchMode::Angle) {
-        // Xq(j) = C(j) K = storage^T [d, p] * K [p, L].
-        sgemm(true, false, d_, len, p_, 1.f, codebook_.prototype(j, 0), d_, k_buf, len, 0.f,
-              xq_group, len);
-      } else {
-        // Hard one-hot lookup (Eq. 5 forward): Xq(j)_l = prototype[k_l].
-        for (std::int64_t l = 0; l < len; ++l) {
-          const float* proto = codebook_.prototype(j, hard_buf[l]);
-          for (std::int64_t i = 0; i < d_; ++i) xq_group[i * len + l] = proto[i];
-        }
-      }
-    }
+            float* xq_group = xq.data() + j * d_ * len;
+            if (config_.mode == MatchMode::Angle) {
+              // Xq(j) = C(j) K = storage^T [d, p] * K [p, L].
+              sgemm(true, false, d_, len, p_, 1.f, codebook_.prototype(j, 0), d_, k_buf, len, 0.f,
+                    xq_group, len);
+            } else {
+              // Hard one-hot lookup (Eq. 5 forward): Xq(j)_l = prototype[k_l].
+              for (std::int64_t l = 0; l < len; ++l) {
+                const float* proto = codebook_.prototype(j, hard_buf[l]);
+                for (std::int64_t i = 0; i < d_; ++i) xq_group[i * len + l] = proto[i];
+              }
+            }
+          }
+        },
+        group_grain);
     matmul(weight_.value.data(), xq.data(), output.data() + s * cout_ * len, cout_, len, rows);
   }
   if (has_bias_) {
@@ -207,29 +220,31 @@ Tensor PecanConv2d::backward(const Tensor& grad_output) {
   Tensor xq({rows, len});
   Tensor dxq({rows, len});
   Tensor dcols({rows, len});
-  const bool par_groups = D_ >= 8;
+  const std::int64_t group_grain = D_ >= 8 ? 1 : D_;
 
   for (std::int64_t s = 0; s < n; ++s) {
     // Recompute X and Xq from the cached input and matching weights
     // (memory-lean: only K and the hard indices were cached).
     nn::im2col(cached_input_.data() + s * cin_ * hin * win, g, cols.data());
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(dynamic) if (par_groups)
-#endif
-    for (std::int64_t j = 0; j < D_; ++j) {
-      const float* k_buf = cached_k_.data() + ((s * D_ + j) * p_) * len;
-      const std::int64_t* hard_buf = cached_hard_.data() + (s * D_ + j) * len;
-      float* xq_group = xq.data() + j * d_ * len;
-      if (config_.mode == MatchMode::Angle) {
-        sgemm(true, false, d_, len, p_, 1.f, codebook_.prototype(j, 0), d_, k_buf, len, 0.f,
-              xq_group, len);
-      } else {
-        for (std::int64_t l = 0; l < len; ++l) {
-          const float* proto = codebook_.prototype(j, hard_buf[l]);
-          for (std::int64_t i = 0; i < d_; ++i) xq_group[i * len + l] = proto[i];
-        }
-      }
-    }
+    util::parallel_for(
+        0, D_,
+        [&](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t j = j0; j < j1; ++j) {
+            const float* k_buf = cached_k_.data() + ((s * D_ + j) * p_) * len;
+            const std::int64_t* hard_buf = cached_hard_.data() + (s * D_ + j) * len;
+            float* xq_group = xq.data() + j * d_ * len;
+            if (config_.mode == MatchMode::Angle) {
+              sgemm(true, false, d_, len, p_, 1.f, codebook_.prototype(j, 0), d_, k_buf, len, 0.f,
+                    xq_group, len);
+            } else {
+              for (std::int64_t l = 0; l < len; ++l) {
+                const float* proto = codebook_.prototype(j, hard_buf[l]);
+                for (std::int64_t i = 0; i < d_; ++i) xq_group[i * len + l] = proto[i];
+              }
+            }
+          }
+        },
+        group_grain);
 
     const float* gout = grad_output.data() + s * cout_ * len;
     // dW += gout * Xq^T ; dXq = W^T * gout.
@@ -245,10 +260,10 @@ Tensor PecanConv2d::backward(const Tensor& grad_output) {
       }
     }
 
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(dynamic) if (par_groups)
-#endif
-    for (std::int64_t j = 0; j < D_; ++j) {
+    util::parallel_for(
+        0, D_,
+        [&](std::int64_t jb0, std::int64_t jb1) {
+    for (std::int64_t j = jb0; j < jb1; ++j) {
       Tensor dk({p_, len});
       Tensor ddist({p_, len});
       const float* k_buf = cached_k_.data() + ((s * D_ + j) * p_) * len;
@@ -303,40 +318,50 @@ Tensor PecanConv2d::backward(const Tensor& grad_output) {
         // d(-||X_l - C_m||_1)/dX_l = -surrogate(X - C)
         // Two passes so each can parallelize over a large axis without
         // write races: dC over prototypes m, dX over column blocks l.
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(static) if (p_ * len * d_ > (1 << 14))
-#endif
-        for (std::int64_t m = 0; m < p_; ++m) {
-          const float* proto = codebook_.prototype(j, m);
-          float* crow = codebook_.grad(j, m);
-          const float* drow = ddist.data() + m * len;
-          for (std::int64_t i = 0; i < d_; ++i) {
-            const float* xrow = xj + i * len;
-            double cacc = 0;
-            for (std::int64_t l = 0; l < len; ++l) {
-              cacc += static_cast<double>(drow[l]) *
-                      sign_surrogate(xrow[l] - proto[i], config_.surrogate, a);
-            }
-            crow[i] += static_cast<float>(cacc);
-          }
-        }
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(static) if (p_ * len * d_ > (1 << 14))
-#endif
-        for (std::int64_t l = 0; l < len; ++l) {
-          for (std::int64_t i = 0; i < d_; ++i) dxj[i * len + l] = 0.f;
-          for (std::int64_t m = 0; m < p_; ++m) {
-            const float* proto = codebook_.prototype(j, m);
-            const float d_ml = ddist[m * len + l];
-            if (d_ml == 0.f) continue;
-            for (std::int64_t i = 0; i < d_; ++i) {
-              dxj[i * len + l] -=
-                  d_ml * sign_surrogate(xj[i * len + l] - proto[i], config_.surrogate, a);
-            }
-          }
-        }
+        const std::int64_t surrogate_grain =
+            std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(len * d_, 1));
+        util::parallel_for(
+            0, p_,
+            [&](std::int64_t m0, std::int64_t m1) {
+              for (std::int64_t m = m0; m < m1; ++m) {
+                const float* proto = codebook_.prototype(j, m);
+                float* crow = codebook_.grad(j, m);
+                const float* drow = ddist.data() + m * len;
+                for (std::int64_t i = 0; i < d_; ++i) {
+                  const float* xrow = xj + i * len;
+                  double cacc = 0;
+                  for (std::int64_t l = 0; l < len; ++l) {
+                    cacc += static_cast<double>(drow[l]) *
+                            sign_surrogate(xrow[l] - proto[i], config_.surrogate, a);
+                  }
+                  crow[i] += static_cast<float>(cacc);
+                }
+              }
+            },
+            surrogate_grain);
+        const std::int64_t column_grain =
+            std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(p_ * d_, 1));
+        util::parallel_for(
+            0, len,
+            [&](std::int64_t l0, std::int64_t l1) {
+              for (std::int64_t l = l0; l < l1; ++l) {
+                for (std::int64_t i = 0; i < d_; ++i) dxj[i * len + l] = 0.f;
+                for (std::int64_t m = 0; m < p_; ++m) {
+                  const float* proto = codebook_.prototype(j, m);
+                  const float d_ml = ddist[m * len + l];
+                  if (d_ml == 0.f) continue;
+                  for (std::int64_t i = 0; i < d_; ++i) {
+                    dxj[i * len + l] -=
+                        d_ml * sign_surrogate(xj[i * len + l] - proto[i], config_.surrogate, a);
+                  }
+                }
+              }
+            },
+            column_grain);
       }
     }
+        },
+        group_grain);
     nn::col2im_accumulate(dcols.data(), g, grad_input.data() + s * cin_ * hin * win);
   }
   return grad_input;

@@ -14,6 +14,14 @@ std::string variant_name(Variant variant) {
   return "?";
 }
 
+Variant variant_from_name(const std::string& name) {
+  if (name == "Baseline") return Variant::Baseline;
+  if (name == "PECAN-A") return Variant::PecanA;
+  if (name == "PECAN-D") return Variant::PecanD;
+  if (name == "AdderNet") return Variant::Adder;
+  throw std::invalid_argument("variant_from_name: unknown variant '" + name + "'");
+}
+
 bool is_pecan(Variant variant) {
   return variant == Variant::PecanA || variant == Variant::PecanD;
 }

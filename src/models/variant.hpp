@@ -27,6 +27,9 @@ namespace pecan::models {
 enum class Variant { Baseline, PecanA, PecanD, Adder };
 
 std::string variant_name(Variant variant);
+/// Inverse of variant_name (exact match); throws std::invalid_argument on
+/// unknown names. Used by runtime::ModelArtifact to decode artifacts.
+Variant variant_from_name(const std::string& name);
 bool is_pecan(Variant variant);
 
 /// (p, d) settings for the two PECAN flavors of one layer.

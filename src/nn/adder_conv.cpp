@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ops/complexity.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pecan::nn {
 
@@ -33,18 +34,24 @@ Tensor AdderConv2d::forward(const Tensor& input) {
     float* col_s = cols_all.data() + s * rows * cols;
     im2col(input.data() + s * cin_ * hin * win, g, col_s);
     float* out_s = output.data() + s * cout_ * cols;
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(static) if (cout_ * cols * rows > (1 << 16))
-#endif
-    for (std::int64_t c = 0; c < cout_; ++c) {
-      const float* w = weight_.value.data() + c * rows;
-      float* orow = out_s + c * cols;
-      for (std::int64_t i = 0; i < cols; ++i) {
-        float acc = 0.f;
-        for (std::int64_t r = 0; r < rows; ++r) acc += std::fabs(col_s[r * cols + i] - w[r]);
-        orow[i] = -acc;
-      }
-    }
+    // Each lane writes a disjoint block of output channels (same
+    // accumulation order as the serial loop — bitwise deterministic).
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, (1 << 16) / std::max<std::int64_t>(cols * rows, 1));
+    util::parallel_for(
+        0, cout_,
+        [&](std::int64_t c0, std::int64_t c1) {
+          for (std::int64_t c = c0; c < c1; ++c) {
+            const float* w = weight_.value.data() + c * rows;
+            float* orow = out_s + c * cols;
+            for (std::int64_t i = 0; i < cols; ++i) {
+              float acc = 0.f;
+              for (std::int64_t r = 0; r < rows; ++r) acc += std::fabs(col_s[r * cols + i] - w[r]);
+              orow[i] = -acc;
+            }
+          }
+        },
+        grain);
   }
   input_shape_ = input.shape();
   if (training_) {

@@ -17,6 +17,9 @@ class BatchNorm2d : public Module {
   Tensor forward(const Tensor& input) override;  ///< [N, C, H, W]
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<std::pair<std::string, Tensor*>> buffers() override {
+    return {{name_ + ".running_mean", &running_mean_}, {name_ + ".running_var", &running_var_}};
+  }
   std::string name() const override { return name_; }
 
   /// y = scale * x + shift equivalent of the (frozen) running statistics.

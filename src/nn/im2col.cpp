@@ -1,6 +1,9 @@
 #include "nn/im2col.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace pecan::nn {
 
@@ -15,26 +18,35 @@ void Conv2dGeometry::validate() const {
 void im2col(const float* im, const Conv2dGeometry& g, float* cols) {
   g.validate();
   const std::int64_t ho = g.hout(), wo = g.wout(), ncols = ho * wo;
-  for (std::int64_t c = 0; c < g.cin; ++c) {
-    const float* channel = im + c * g.hin * g.win;
-    for (std::int64_t ki = 0; ki < g.k; ++ki) {
-      for (std::int64_t kj = 0; kj < g.k; ++kj) {
-        float* row = cols + ((c * g.k + ki) * g.k + kj) * ncols;
-        for (std::int64_t oi = 0; oi < ho; ++oi) {
-          const std::int64_t ii = oi * g.stride + ki - g.pad;
-          if (ii < 0 || ii >= g.hin) {
-            for (std::int64_t oj = 0; oj < wo; ++oj) row[oi * wo + oj] = 0.f;
-            continue;
-          }
-          const float* src = channel + ii * g.win;
-          for (std::int64_t oj = 0; oj < wo; ++oj) {
-            const std::int64_t jj = oj * g.stride + kj - g.pad;
-            row[oi * wo + oj] = (jj < 0 || jj >= g.win) ? 0.f : src[jj];
+  // Channels write disjoint row blocks of `cols`, so the channel loop is
+  // embarrassingly parallel; the grain keeps small unfoldings serial.
+  const std::int64_t channel_cost = std::max<std::int64_t>(g.k * g.k * ncols, 1);
+  const std::int64_t grain = std::max<std::int64_t>(1, (1 << 14) / channel_cost);
+  util::parallel_for(
+      0, g.cin,
+      [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          const float* channel = im + c * g.hin * g.win;
+          for (std::int64_t ki = 0; ki < g.k; ++ki) {
+            for (std::int64_t kj = 0; kj < g.k; ++kj) {
+              float* row = cols + ((c * g.k + ki) * g.k + kj) * ncols;
+              for (std::int64_t oi = 0; oi < ho; ++oi) {
+                const std::int64_t ii = oi * g.stride + ki - g.pad;
+                if (ii < 0 || ii >= g.hin) {
+                  for (std::int64_t oj = 0; oj < wo; ++oj) row[oi * wo + oj] = 0.f;
+                  continue;
+                }
+                const float* src = channel + ii * g.win;
+                for (std::int64_t oj = 0; oj < wo; ++oj) {
+                  const std::int64_t jj = oj * g.stride + kj - g.pad;
+                  row[oi * wo + oj] = (jj < 0 || jj >= g.win) ? 0.f : src[jj];
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      },
+      grain);
 }
 
 void col2im_accumulate(const float* cols, const Conv2dGeometry& g, float* im_grad) {

@@ -11,6 +11,11 @@ TensorMap Module::state_dict() {
       throw std::runtime_error("state_dict: duplicate parameter name '" + p->name + "'");
     }
   }
+  for (auto& [name, tensor] : buffers()) {
+    if (!state.emplace(name, *tensor).second) {
+      throw std::runtime_error("state_dict: duplicate buffer name '" + name + "'");
+    }
+  }
   return state;
 }
 
@@ -25,6 +30,17 @@ void Module::load_state_dict(const TensorMap& state) {
                                shape_str(it->second.shape()) + " vs " + shape_str(p->value.shape()));
     }
     p->value = it->second;
+  }
+  for (auto& [name, tensor] : buffers()) {
+    auto it = state.find(name);
+    // Buffers are tolerated as absent so pre-buffer checkpoints keep
+    // loading (they simply retain the module's current running stats).
+    if (it == state.end()) continue;
+    if (!it->second.same_shape(*tensor)) {
+      throw std::runtime_error("load_state_dict: shape mismatch for buffer '" + name + "': " +
+                               shape_str(it->second.shape()) + " vs " + shape_str(tensor->shape()));
+    }
+    *tensor = it->second;
   }
 }
 
@@ -46,6 +62,14 @@ std::vector<Parameter*> Sequential::parameters() {
     for (Parameter* p : layer->parameters()) params.push_back(p);
   }
   return params;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Sequential::buffers() {
+  std::vector<std::pair<std::string, Tensor*>> all;
+  for (auto& layer : layers_) {
+    for (auto& buffer : layer->buffers()) all.push_back(std::move(buffer));
+  }
+  return all;
 }
 
 void Sequential::set_training(bool training) {

@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ops/op_count.hpp"
@@ -48,6 +49,11 @@ class Module {
 
   /// All trainable parameters (recursively for containers).
   virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Named persistent state that is NOT optimized but must survive a
+  /// checkpoint round-trip (BatchNorm running statistics). Included in
+  /// state_dict()/load_state_dict() alongside parameters.
+  virtual std::vector<std::pair<std::string, Tensor*>> buffers() { return {}; }
 
   virtual std::string name() const = 0;
 
@@ -93,6 +99,7 @@ class Sequential : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<std::pair<std::string, Tensor*>> buffers() override;
   std::string name() const override { return name_.empty() ? "Sequential" : name_; }
   void set_training(bool training) override;
   void set_epoch_progress(double progress) override;

@@ -51,6 +51,11 @@ class Residual : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<std::pair<std::string, Tensor*>> buffers() override {
+    auto all = main_->buffers();
+    for (auto& buffer : shortcut_->buffers()) all.push_back(std::move(buffer));
+    return all;
+  }
   std::string name() const override { return name_; }
   void set_training(bool training) override;
   void set_epoch_progress(double progress) override;

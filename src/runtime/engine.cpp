@@ -1,0 +1,198 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "models/variant.hpp"
+#include "nn/residual.hpp"
+
+namespace pecan::runtime {
+
+namespace {
+/// Flattens nested Sequentials into a linear step list. Residual blocks
+/// stay single steps: their two branches are an internal fork/join, not a
+/// pipeline stage.
+void flatten(nn::Module& module, std::vector<nn::Module*>& plan,
+             std::vector<std::string>& names) {
+  if (auto* seq = dynamic_cast<nn::Sequential*>(&module)) {
+    for (std::size_t i = 0; i < seq->size(); ++i) flatten(seq->layer(i), plan, names);
+    return;
+  }
+  plan.push_back(&module);
+  names.push_back(module.name());
+}
+}  // namespace
+
+Engine::Engine(std::unique_ptr<nn::Sequential> net, EngineConfig config)
+    : net_(std::move(net)), config_(config) {
+  if (!net_) throw std::invalid_argument("Engine: null network");
+  if (config_.max_batch < 1) throw std::invalid_argument("Engine: max_batch must be >= 1");
+  net_->set_training(false);
+  if (config_.path == ExecPath::Cam) export_ = cam::convert_to_cam(*net_);
+  compile();
+}
+
+std::unique_ptr<Engine> Engine::from_artifact(const ModelArtifact& artifact, EngineConfig config) {
+  if (config.path == ExecPath::Cam && !models::is_pecan(artifact.variant)) {
+    throw std::invalid_argument("Engine: ExecPath::Cam requires a PECAN variant artifact, got " +
+                                models::variant_name(artifact.variant));
+  }
+  if (config.input_shape.empty()) {
+    config.input_shape = {artifact.in_channels, artifact.in_height, artifact.in_width};
+  }
+  return std::make_unique<Engine>(build_network(artifact), config);
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::compile() {
+  plan_.clear();
+  plan_names_.clear();
+  flatten(active(), plan_, plan_names_);
+  if (plan_.empty()) throw std::invalid_argument("Engine: empty network");
+}
+
+Tensor Engine::run_plan(const Tensor& batch) {
+  std::lock_guard<std::mutex> exec_lock(exec_mutex_);
+  Tensor x = batch;
+  for (nn::Module* step : plan_) x = step->forward(x);
+  return x;
+}
+
+Tensor Engine::forward_batch(const Tensor& batch) {
+  if (!config_.input_shape.empty()) {
+    const bool shape_ok = batch.ndim() == 4 && batch.dim(1) == config_.input_shape[0] &&
+                          batch.dim(2) == config_.input_shape[1] &&
+                          batch.dim(3) == config_.input_shape[2];
+    if (!shape_ok) {
+      throw std::invalid_argument("Engine::forward_batch: expected a batch of " +
+                                  shape_str(config_.input_shape) + " samples, got " +
+                                  shape_str(batch.shape()));
+    }
+  }
+  Tensor out = run_plan(batch);
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ++stats_.direct_batches;
+  return out;
+}
+
+void Engine::ensure_batcher() {
+  if (batcher_running_) return;
+  batcher_running_ = true;
+  batcher_ = std::thread([this] { batcher_loop(); });
+}
+
+std::future<Tensor> Engine::submit(Tensor sample) {
+  if (sample.ndim() != 3) {
+    throw std::invalid_argument("Engine::submit: expected a [C,H,W] sample, got " +
+                                shape_str(sample.shape()));
+  }
+  // Reject geometry mismatches here, synchronously: a bad sample queued
+  // into a coalesced micro-batch would otherwise fail the whole batch on
+  // the batcher thread, poisoning other callers' futures.
+  if (!config_.input_shape.empty() && sample.shape() != config_.input_shape) {
+    throw std::invalid_argument("Engine::submit: expected a " +
+                                shape_str(config_.input_shape) + " sample, got " +
+                                shape_str(sample.shape()));
+  }
+  std::future<Tensor> future;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) throw std::runtime_error("Engine::submit: engine is shut down");
+    Pending pending;
+    pending.sample = std::move(sample);
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    ensure_batcher();
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+void Engine::batcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+
+      // Micro-batching: wait briefly for stragglers unless the batch is
+      // already full or the engine is stopping.
+      if (!stopping_ && static_cast<std::int64_t>(queue_.size()) < config_.max_batch) {
+        queue_cv_.wait_for(lock, config_.batch_wait, [this] {
+          return stopping_ || static_cast<std::int64_t>(queue_.size()) >= config_.max_batch;
+        });
+      }
+
+      // Coalesce the longest same-shape prefix (samples of a different
+      // shape stay queued for the next batch). Copy the shape: the front
+      // element is moved out below.
+      const Shape first_shape = queue_.front().sample.shape();
+      while (!queue_.empty() && static_cast<std::int64_t>(batch.size()) < config_.max_batch &&
+             queue_.front().sample.shape() == first_shape) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    execute_pending(batch);
+  }
+}
+
+void Engine::execute_pending(std::vector<Pending>& batch) {
+  const std::int64_t b = static_cast<std::int64_t>(batch.size());
+  try {
+    const Shape& sample_shape = batch.front().sample.shape();
+    Shape batch_shape{b};
+    batch_shape.insert(batch_shape.end(), sample_shape.begin(), sample_shape.end());
+    Tensor stacked(batch_shape);
+    const std::int64_t sample_numel = batch.front().sample.numel();
+    for (std::int64_t i = 0; i < b; ++i) {
+      std::memcpy(stacked.data() + i * sample_numel, batch[static_cast<std::size_t>(i)].sample.data(),
+                  static_cast<std::size_t>(sample_numel) * sizeof(float));
+    }
+
+    Tensor out = run_plan(stacked);
+    if (out.ndim() < 1 || out.dim(0) != b) {
+      throw std::logic_error("Engine: network returned batch dim " +
+                             shape_str(out.shape()) + " for batch of " + std::to_string(b));
+    }
+    Shape row_shape(out.shape().begin() + 1, out.shape().end());
+    const std::int64_t row_numel = out.numel() / b;
+    for (std::int64_t i = 0; i < b; ++i) {
+      Tensor row(row_shape);
+      std::memcpy(row.data(), out.data() + i * row_numel,
+                  static_cast<std::size_t>(row_numel) * sizeof(float));
+      batch[static_cast<std::size_t>(i)].promise.set_value(std::move(row));
+    }
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.batched_samples += static_cast<std::uint64_t>(b);
+    }
+  } catch (...) {
+    for (Pending& pending : batch) pending.promise.set_exception(std::current_exception());
+  }
+}
+
+void Engine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  batcher_running_ = false;
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace pecan::runtime

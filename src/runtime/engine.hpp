@@ -1,0 +1,137 @@
+// runtime::Engine — batched, multi-threaded inference serving for trained
+// PECAN networks.
+//
+// The engine compiles a loaded model into a flat execution plan and serves
+// it two ways:
+//   * forward_batch(): synchronous batched inference ([N,C,H,W] in,
+//     [N,classes] out), with the hot kernels spread over the global
+//     util::ThreadPool;
+//   * submit(): single-sample requests that a background batcher thread
+//     coalesces into micro-batches (up to max_batch, waiting at most
+//     batch_wait for stragglers) and answers through futures — the classic
+//     serving-side latency/throughput trade.
+//
+// Execution paths:
+//   Float — the trained pq::PecanConv2d network as-is (prototype matching
+//           in f32; also serves Baseline/Adder variants);
+//   Cam   — the network exported through cam::convert_to_cam (CAM search +
+//           LUT accumulate, Algorithm 1); the shared OpCounter stays exact
+//           under the multi-threaded executor because it is atomic.
+//
+// Per-sample results are bitwise-identical to an unbatched forward() at any
+// thread count: batching never crosses samples and the pool's parallel_for
+// preserves per-output accumulation order (asserted by test_runtime).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cam/convert.hpp"
+#include "nn/module.hpp"
+#include "runtime/model_artifact.hpp"
+
+namespace pecan::runtime {
+
+enum class ExecPath {
+  Float,  ///< trained float network (PQ matching or baseline layers)
+  Cam     ///< CAM + LUT export (PECAN variants only)
+};
+
+struct EngineConfig {
+  ExecPath path = ExecPath::Float;
+  std::int64_t max_batch = 8;                       ///< micro-batch size cap
+  std::chrono::microseconds batch_wait{200};        ///< straggler wait per batch
+  /// Expected sample geometry [C, H, W]; when non-empty, submit() and
+  /// forward_batch() reject mismatched inputs up front (before queuing)
+  /// instead of failing later inside a layer on the batcher thread.
+  /// Engine::from_artifact fills this from the artifact.
+  Shape input_shape{};
+};
+
+struct EngineStats {
+  std::uint64_t requests = 0;         ///< samples accepted by submit()
+  std::uint64_t batches = 0;          ///< micro-batches executed
+  std::uint64_t batched_samples = 0;  ///< samples served through micro-batches
+  std::uint64_t direct_batches = 0;   ///< forward_batch() calls
+};
+
+class Engine {
+ public:
+  /// Takes ownership of a trained network and compiles it for the chosen
+  /// path. The network is put in eval mode; for ExecPath::Cam it is
+  /// additionally exported to its CAM+LUT realization.
+  Engine(std::unique_ptr<nn::Sequential> net, EngineConfig config = {});
+
+  /// Loads + rebuilds an artifact, then compiles it.
+  static std::unique_ptr<Engine> from_artifact(const ModelArtifact& artifact,
+                                               EngineConfig config = {});
+
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Synchronous batched forward. One in-flight execution at a time (the
+  /// layers cache per-call state); callers queue on an internal mutex.
+  Tensor forward_batch(const Tensor& batch);
+
+  /// Enqueues one sample ([C,H,W]) for micro-batched execution; the future
+  /// yields its logits row ([classes]) or rethrows the execution error.
+  /// The batcher thread starts lazily on first use.
+  std::future<Tensor> submit(Tensor sample);
+
+  /// Drains pending requests, answers them, and stops the batcher thread.
+  /// Subsequent submit() calls throw; forward_batch keeps working.
+  void shutdown();
+
+  std::int64_t plan_size() const { return static_cast<std::int64_t>(plan_.size()); }
+  const std::vector<std::string>& plan_names() const { return plan_names_; }
+  ExecPath path() const { return config_.path; }
+  EngineStats stats() const;
+
+  /// Shared dynamic op counter of the CAM export (null on the Float path).
+  cam::OpCounter* counter() { return export_.counter.get(); }
+  /// The CAM export (empty .net on the Float path) — for pruning etc.
+  cam::CamNetworkExport& cam_export() { return export_; }
+
+ private:
+  struct Pending {
+    Tensor sample;
+    std::promise<Tensor> promise;
+  };
+
+  nn::Module& active() { return export_.net ? *export_.net : *net_; }
+  Tensor run_plan(const Tensor& batch);
+  void compile();
+  void batcher_loop();
+  void execute_pending(std::vector<Pending>& batch);
+  void ensure_batcher();
+
+  std::unique_ptr<nn::Sequential> net_;
+  cam::CamNetworkExport export_;  ///< .net is null on the Float path
+  EngineConfig config_;
+
+  std::vector<nn::Module*> plan_;  ///< flattened execution steps, in order
+  std::vector<std::string> plan_names_;
+
+  std::mutex exec_mutex_;  ///< serializes forward passes (layer-state safety)
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  std::thread batcher_;
+  bool batcher_running_ = false;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mutex_;
+  EngineStats stats_;
+};
+
+}  // namespace pecan::runtime

@@ -3,13 +3,22 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace pecan {
 
 namespace {
 constexpr char kMagic[4] = {'P', 'C', 'A', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionLegacy = 1;  ///< no metadata block
+constexpr std::uint32_t kVersion = 2;        ///< adds the metadata block
+
+// Structural bounds: far above anything legitimate, low enough that a
+// corrupted length field fails fast instead of attempting a huge allocation
+// (or overflowing the int64 element-count product).
+constexpr std::uint32_t kMaxStringLen = 1u << 20;
+constexpr std::uint32_t kMaxNdim = 16;
+constexpr std::int64_t kMaxNumel = std::int64_t{1} << 33;  // 32 GiB of f32
 
 template <typename T>
 void write_pod(std::ofstream& out, const T& value) {
@@ -17,60 +26,137 @@ void write_pod(std::ofstream& out, const T& value) {
 }
 
 template <typename T>
-T read_pod(std::ifstream& in) {
+T read_pod(std::ifstream& in, const std::string& path, const char* field) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("load_tensors: truncated file");
+  if (!in) throw std::runtime_error("load_tensors: " + path + ": truncated at " + field);
   return value;
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in, const std::string& path, const char* field) {
+  const auto len = read_pod<std::uint32_t>(in, path, field);
+  if (len > kMaxStringLen) {
+    throw std::runtime_error("load_tensors: " + path + ": implausible string length " +
+                             std::to_string(len) + " at " + field + " (corrupt file?)");
+  }
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("load_tensors: " + path + ": truncated at " + field);
+  return s;
 }
 }  // namespace
 
 void save_tensors(const std::string& path, const TensorMap& tensors) {
+  save_tensors(path, tensors, MetaMap{});
+}
+
+void save_tensors(const std::string& path, const TensorMap& tensors, const MetaMap& meta) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("save_tensors: cannot open " + path);
   out.write(kMagic, sizeof kMagic);
   write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(meta.size()));
+  for (const auto& [key, value] : meta) {
+    write_string(out, key);
+    write_string(out, value);
+  }
   write_pod(out, static_cast<std::uint64_t>(tensors.size()));
   for (const auto& [name, tensor] : tensors) {
-    write_pod(out, static_cast<std::uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_string(out, name);
     write_pod(out, static_cast<std::uint32_t>(tensor.ndim()));
     for (std::int64_t d : tensor.shape()) write_pod(out, d);
+    write_pod(out, static_cast<std::uint64_t>(tensor.numel()));
     out.write(reinterpret_cast<const char*>(tensor.data()),
               static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
   }
   if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
 }
 
-TensorMap load_tensors(const std::string& path) {
+TensorMap load_tensors(const std::string& path) { return load_tensor_file(path).tensors; }
+
+TensorFile load_tensor_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_tensors: cannot open " + path);
   char magic[4];
   in.read(magic, sizeof magic);
   if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    throw std::runtime_error("load_tensors: bad magic in " + path);
+    throw std::runtime_error("load_tensors: " + path +
+                             ": bad magic (not a PECAN tensor file)");
   }
-  const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
-    throw std::runtime_error("load_tensors: unsupported version " + std::to_string(version));
+  const auto version = read_pod<std::uint32_t>(in, path, "version");
+  if (version != kVersionLegacy && version != kVersion) {
+    throw std::runtime_error("load_tensors: " + path + ": unsupported format version " +
+                             std::to_string(version) + " (this build reads versions 1-" +
+                             std::to_string(kVersion) + ")");
   }
-  const auto count = read_pod<std::uint64_t>(in);
-  TensorMap tensors;
+
+  TensorFile file;
+  if (version >= kVersion) {
+    const auto meta_count = read_pod<std::uint32_t>(in, path, "meta count");
+    for (std::uint32_t i = 0; i < meta_count; ++i) {
+      std::string key = read_string(in, path, "meta key");
+      std::string value = read_string(in, path, "meta value");
+      file.meta.emplace(std::move(key), std::move(value));
+    }
+  }
+
+  const auto count = read_pod<std::uint64_t>(in, path, "tensor count");
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(in);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    if (!in) throw std::runtime_error("load_tensors: truncated name");
-    const auto ndim = read_pod<std::uint32_t>(in);
+    std::string name = read_string(in, path, "tensor name");
+    const auto ndim = read_pod<std::uint32_t>(in, path, "ndim");
+    if (ndim > kMaxNdim) {
+      throw std::runtime_error("load_tensors: " + path + ": tensor '" + name +
+                               "' has implausible ndim " + std::to_string(ndim));
+    }
     Shape shape(ndim);
-    for (auto& d : shape) d = read_pod<std::int64_t>(in);
-    Tensor tensor(shape);
-    in.read(reinterpret_cast<char*>(tensor.data()),
-            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-    if (!in) throw std::runtime_error("load_tensors: truncated data for " + name);
-    tensors.emplace(std::move(name), std::move(tensor));
+    std::int64_t implied_numel = 1;
+    for (auto& d : shape) {
+      d = read_pod<std::int64_t>(in, path, "dim");
+      if (d < 0) {
+        throw std::runtime_error("load_tensors: " + path + ": tensor '" + name +
+                                 "' has negative dimension " + std::to_string(d));
+      }
+      // Overflow-safe running product: reject before shape_numel/Tensor can
+      // overflow int64 or attempt an absurd allocation.
+      if (d > 0 && implied_numel > kMaxNumel / d) {
+        throw std::runtime_error("load_tensors: " + path + ": tensor '" + name +
+                                 "' has implausible shape " + shape_str(shape) +
+                                 " (corrupt file?)");
+      }
+      implied_numel *= d;
+    }
+    std::uint64_t numel;
+    if (version >= kVersion) {
+      numel = read_pod<std::uint64_t>(in, path, "numel");
+      const bool consistent = ndim == 0 ? numel <= 1
+                                        : numel == static_cast<std::uint64_t>(shape_numel(shape));
+      if (!consistent) {
+        throw std::runtime_error("load_tensors: " + path + ": tensor '" + name + "' numel " +
+                                 std::to_string(numel) + " does not match shape " +
+                                 shape_str(shape));
+      }
+    } else {
+      // v1 wrote no numel; derive it from the shape, as the v1 loader did.
+      numel = static_cast<std::uint64_t>(shape_numel(shape));
+    }
+    // ndim == 0 with numel == 0 is the default-constructed empty tensor;
+    // Tensor(Shape{}) would instead be a 1-element scalar.
+    Tensor tensor = (ndim == 0 && numel == 0) ? Tensor() : Tensor(shape);
+    if (tensor.numel() > 0) {
+      in.read(reinterpret_cast<char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+      if (!in) {
+        throw std::runtime_error("load_tensors: " + path + ": truncated data for '" + name + "'");
+      }
+    }
+    file.tensors.emplace(std::move(name), std::move(tensor));
   }
-  return tensors;
+  return file;
 }
 
 }  // namespace pecan

@@ -1,8 +1,17 @@
-// Binary serialization of named tensor collections (model checkpoints).
+// Binary serialization of named tensor collections (model checkpoints) with
+// an optional string-metadata block (model artifacts).
 //
-// Format: magic "PCAN" | u32 version | u64 count | per entry:
-//   u32 name_len | name bytes | u32 ndim | i64 dims[ndim] | f32 data[numel].
-// Little-endian host assumed (x86-64 target); files round-trip exactly.
+// Format v2: magic "PCAN" | u32 version |
+//   u32 meta_count | per entry: u32 key_len | key | u32 val_len | val |
+//   u64 tensor_count | per entry:
+//     u32 name_len | name bytes | u32 ndim | i64 dims[ndim] | u64 numel |
+//     f32 data[numel].
+// v1 files (no metadata block, no explicit numel) are still readable. The
+// explicit numel makes zero-element and default-constructed tensors
+// round-trip exactly (v1 conflated "no elements" with "0-d scalar").
+// Little-endian host assumed (x86-64 target). Loaders validate magic,
+// version, and structural bounds and throw std::runtime_error with the
+// offending path and field on any mismatch.
 #pragma once
 
 #include <map>
@@ -13,8 +22,19 @@
 namespace pecan {
 
 using TensorMap = std::map<std::string, Tensor>;
+using MetaMap = std::map<std::string, std::string>;
+
+/// A loaded checkpoint/artifact file: tensors plus free-form metadata
+/// (empty for v1 files).
+struct TensorFile {
+  TensorMap tensors;
+  MetaMap meta;
+};
 
 void save_tensors(const std::string& path, const TensorMap& tensors);
+void save_tensors(const std::string& path, const TensorMap& tensors, const MetaMap& meta);
+
 TensorMap load_tensors(const std::string& path);
+TensorFile load_tensor_file(const std::string& path);
 
 }  // namespace pecan

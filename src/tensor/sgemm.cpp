@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 namespace pecan {
 
 namespace {
@@ -11,23 +13,30 @@ constexpr std::int64_t kBlockK = 256;
 
 // Inner kernel on a packed (non-transposed) problem:
 // C[m,n] += alpha * A[m,k] * B[k,n], A row-major lda, B row-major ldb.
+// Parallel over row blocks: each output row is written by exactly one lane
+// in the serial accumulation order, so results are bitwise-identical at any
+// thread count (the runtime engine's equivalence tests rely on this).
 void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha, const float* a,
              std::int64_t lda, const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
-#ifdef PECAN_HAS_OPENMP
-#pragma omp parallel for schedule(static) if (m * n * k > (1 << 16))
-#endif
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::int64_t k1 = std::min(k, k0 + kBlockK);
-      for (std::int64_t kk = k0; kk < k1; ++kk) {
-        const float aik = alpha * a[i * lda + kk];
-        if (aik == 0.f) continue;
-        const float* brow = b + kk * ldb;
-        float* crow = c + i * ldc;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  }
+  const std::int64_t row_cost = std::max<std::int64_t>(n * k, 1);
+  const std::int64_t grain = std::max<std::int64_t>(1, (1 << 16) / row_cost);
+  util::parallel_for(
+      0, m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const std::int64_t k1 = std::min(k, k0 + kBlockK);
+            for (std::int64_t kk = k0; kk < k1; ++kk) {
+              const float aik = alpha * a[i * lda + kk];
+              if (aik == 0.f) continue;
+              const float* brow = b + kk * ldb;
+              float* crow = c + i * ldc;
+              for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+            }
+          }
+        }
+      },
+      grain);
 }
 }  // namespace
 

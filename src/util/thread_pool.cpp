@@ -1,0 +1,157 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+namespace pecan::util {
+
+namespace {
+thread_local bool t_in_worker = false;
+
+int default_threads() {
+  if (const char* env = std::getenv("PECAN_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed - 1;  // PECAN_THREADS counts the caller lane
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<int>(hw) - 1 : 0;
+}
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads == 0 ? default_threads() : std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t, std::int64_t)>& body,
+                              std::int64_t grain) {
+  if (begin >= end) return;
+  const std::int64_t range = end - begin;
+  const std::int64_t lanes = static_cast<std::int64_t>(workers_.size()) + 1;
+  if (t_in_worker || lanes == 1 || range <= std::max<std::int64_t>(grain, 1)) {
+    body(begin, end);
+    return;
+  }
+
+  // Deterministic partition: ceil-split the range over at most `lanes`
+  // chunks, each at least `grain` long.
+  const std::int64_t chunks =
+      std::min(lanes, (range + std::max<std::int64_t>(grain, 1) - 1) / std::max<std::int64_t>(grain, 1));
+  const std::int64_t step = (range + chunks - 1) / chunks;
+
+  struct Sync {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::int64_t remaining;
+    std::exception_ptr error;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->remaining = chunks - 1;  // chunk 0 runs on the caller
+
+  for (std::int64_t c = 1; c < chunks; ++c) {
+    const std::int64_t i0 = begin + c * step;
+    const std::int64_t i1 = std::min(end, i0 + step);
+    enqueue([sync, &body, i0, i1] {
+      try {
+        body(i0, i1);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(sync->mutex);
+        if (!sync->error) sync->error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(sync->mutex);
+        --sync->remaining;
+      }
+      sync->cv.notify_one();
+    });
+  }
+
+  // The caller's own chunk runs flagged as worker context so parallel_for
+  // calls nested inside it degrade inline, like on the real workers.
+  std::exception_ptr caller_error;
+  t_in_worker = true;
+  try {
+    body(begin, std::min(end, begin + step));
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  t_in_worker = false;
+
+  std::unique_lock<std::mutex> lock(sync->mutex);
+  sync->cv.wait(lock, [&] { return sync->remaining == 0; });
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (sync->error) std::rethrow_exception(sync->error);
+}
+
+namespace {
+// Lock-free fast path for the hot kernels: readers load an atomic pointer;
+// the mutex is only taken to create or (quiesced, see header) replace the
+// pool. The owner unique_ptr keeps the previous pool alive until swap.
+std::atomic<ThreadPool*> g_pool{nullptr};
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& global_pool() {
+  if (ThreadPool* pool = g_pool.load(std::memory_order_acquire)) return *pool;
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  auto& slot = global_pool_slot();
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>();
+    g_pool.store(slot.get(), std::memory_order_release);
+  }
+  return *slot;
+}
+
+void set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  auto replacement = std::make_unique<ThreadPool>(std::max(1, threads));
+  g_pool.store(replacement.get(), std::memory_order_release);
+  global_pool_slot() = std::move(replacement);  // old pool joins + destructs here
+}
+
+int global_lanes() { return global_pool().size() + 1; }
+
+}  // namespace pecan::util

@@ -1,0 +1,103 @@
+// Work-stealing-free, deterministic thread pool — the parallel substrate of
+// the runtime serving engine and the hot kernels (sgemm, im2col, PECAN
+// matching, CAM search/LUT accumulate).
+//
+// Design constraints, in order:
+//   1. Determinism: parallel_for carves [begin, end) into contiguous chunks
+//      whose boundaries depend only on the range and the grain — never on
+//      thread timing — and every chunk computes exactly what the serial loop
+//      would. Callers that keep per-output-element summation order (all of
+//      ours do) therefore produce bitwise-identical results at any thread
+//      count, which the batched-vs-sequential equivalence tests assert.
+//   2. Nesting safety: a parallel_for issued from inside a pool worker runs
+//      inline on that worker. Outer parallelism wins (the group loop of
+//      PecanConv2d), inner loops degrade gracefully — no deadlock, no
+//      oversubscription.
+//   3. The caller participates: the submitting thread executes the first
+//      chunk itself instead of blocking, so a pool of T threads yields T+1
+//      lanes and a 1-thread pool still overlaps caller and worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pecan::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (not counting the participating caller thread).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; the future rethrows any exception the task threw.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(i0, i1) over a partition of [begin, end). Chunk boundaries
+  /// are a pure function of (range, grain, size()) — see header comment.
+  /// Runs inline when the range is below `grain`, the pool has no workers,
+  /// or the caller is itself a pool worker (nesting). Blocks until every
+  /// chunk finished; rethrows the first chunk exception.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& body,
+                    std::int64_t grain = 1);
+
+  /// True when called from one of this process's pool worker threads.
+  static bool in_worker();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool used by the kernels. Sized from PECAN_THREADS when set
+/// (a value of 1 disables worker threads entirely), otherwise from
+/// hardware_concurrency(). Created on first use.
+ThreadPool& global_pool();
+
+/// Replaces the global pool with one of `threads` workers (1 = serial).
+/// Callers must be quiesced: intended for bench harnesses and engine setup,
+/// not for mid-inference reconfiguration.
+void set_global_threads(int threads);
+
+/// Worker-lane count of the global pool including the caller lane (>= 1).
+int global_lanes();
+
+/// global_pool().parallel_for — the kernels' one-liner. Nested calls (from
+/// inside a pool lane) short-circuit to an inline run without touching the
+/// global pool at all, keeping the hot kernels off the pool-lookup path.
+inline void parallel_for(std::int64_t begin, std::int64_t end,
+                         const std::function<void(std::int64_t, std::int64_t)>& body,
+                         std::int64_t grain = 1) {
+  if (ThreadPool::in_worker()) {
+    if (begin < end) body(begin, end);
+    return;
+  }
+  global_pool().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace pecan::util

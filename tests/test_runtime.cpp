@@ -1,0 +1,330 @@
+// Tests for the serving runtime: ThreadPool, atomic op counting, the
+// ModelArtifact round-trip, and the Engine's batched-vs-sequential bitwise
+// equivalence guarantees (both execution paths, both PECAN flavors).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "cam/convert.hpp"
+#include "models/lenet.hpp"
+#include "nn/batchnorm.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/model_artifact.hpp"
+#include "tensor/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pecan {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRunsInlineBelowGrain) {
+  util::ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(
+      0, 8,
+      [&](std::int64_t i0, std::int64_t i1) {
+        // Single inline call receives the whole range.
+        EXPECT_EQ(i0, 0);
+        EXPECT_EQ(i1, 8);
+        ran = true;
+      },
+      /*grain=*/64);
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, NestedParallelForDegradesInline) {
+  util::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      pool.parallel_for(0, 10, [&](std::int64_t j0, std::int64_t j1) {
+        total.fetch_add(static_cast<int>(j1 - j0));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::int64_t i0, std::int64_t) {
+                                   if (i0 > 0) throw std::runtime_error("chunk failure");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsValueAndRethrows) {
+  util::ThreadPool pool(2);
+  auto ok = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(ok.get(), 42);
+  auto bad = pool.submit([]() -> int { throw std::logic_error("task failure"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+}
+
+TEST(ThreadPool, OpCounterStaysExactUnderThreads) {
+  util::ThreadPool pool(4);
+  cam::OpCounter counter;
+  constexpr std::int64_t kIncrements = 20000;
+  pool.parallel_for(0, kIncrements, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      counter.adds.fetch_add(1, std::memory_order_relaxed);
+      counter.cam_searches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(counter.adds.load(), static_cast<std::uint64_t>(kIncrements));
+  EXPECT_EQ(counter.cam_searches.load(), static_cast<std::uint64_t>(kIncrements));
+  counter.reset();
+  EXPECT_EQ(counter.adds.load(), 0u);
+}
+
+// ------------------------------------------------------------------ helpers
+
+Tensor random_batch(Rng& rng, std::int64_t n) { return rng.randn({n, 1, 28, 28}); }
+
+/// Per-sample forward through `net` (the sequential serving baseline).
+std::vector<Tensor> forward_per_sample(nn::Module& net, const Tensor& batch) {
+  const std::int64_t n = batch.dim(0);
+  const std::int64_t sample_numel = batch.numel() / n;
+  std::vector<Tensor> outputs;
+  for (std::int64_t s = 0; s < n; ++s) {
+    Tensor sample({1, batch.dim(1), batch.dim(2), batch.dim(3)});
+    std::copy(batch.data() + s * sample_numel, batch.data() + (s + 1) * sample_numel,
+              sample.data());
+    outputs.push_back(net.forward(sample));
+  }
+  return outputs;
+}
+
+void expect_bitwise_rows(const Tensor& batched, const std::vector<Tensor>& rows) {
+  const std::int64_t n = batched.dim(0);
+  ASSERT_EQ(n, static_cast<std::int64_t>(rows.size()));
+  const std::int64_t row_numel = batched.numel() / n;
+  for (std::int64_t s = 0; s < n; ++s) {
+    ASSERT_EQ(rows[static_cast<std::size_t>(s)].numel(), row_numel);
+    for (std::int64_t i = 0; i < row_numel; ++i) {
+      // EXPECT_EQ, not NEAR: batching must be bit-exact.
+      EXPECT_EQ(batched[s * row_numel + i], rows[static_cast<std::size_t>(s)][i])
+          << "sample " << s << " element " << i;
+    }
+  }
+}
+
+// ------------------------------------------------- batched-vs-sequential
+
+class EngineEquivalence : public ::testing::TestWithParam<models::Variant> {};
+
+TEST_P(EngineEquivalence, FloatPathBatchedMatchesSequential) {
+  Rng rng(7);
+  auto reference = models::make_lenet5(GetParam(), rng);
+  reference->set_training(false);
+  Rng rng2(7);
+  auto served = models::make_lenet5(GetParam(), rng2);  // identical weights
+
+  Rng data_rng(11);
+  Tensor batch = random_batch(data_rng, 5);
+  std::vector<Tensor> rows = forward_per_sample(*reference, batch);
+
+  util::set_global_threads(3);
+  runtime::Engine engine(std::move(served));
+  Tensor batched = engine.forward_batch(batch);
+  util::set_global_threads(1);
+  expect_bitwise_rows(batched, rows);
+}
+
+TEST_P(EngineEquivalence, CamPathBatchedMatchesSequential) {
+  Rng rng(19);
+  auto trained = models::make_lenet5(GetParam(), rng);
+  trained->set_training(false);
+
+  cam::CamNetworkExport reference = cam::convert_to_cam(*trained);
+  Rng data_rng(23);
+  Tensor batch = random_batch(data_rng, 3);
+  std::vector<Tensor> rows = forward_per_sample(*reference.net, batch);
+
+  util::set_global_threads(3);
+  runtime::Engine engine(std::move(trained), {runtime::ExecPath::Cam});
+  Tensor batched = engine.forward_batch(batch);
+  util::set_global_threads(1);
+  expect_bitwise_rows(batched, rows);
+  ASSERT_NE(engine.counter(), nullptr);
+  EXPECT_GT(engine.counter()->cam_searches.load(), 0u);
+  if (GetParam() == models::Variant::PecanD) {
+    // "Truly multiplier-free DNN": the invariant must hold when the CAM
+    // executor runs multi-threaded too.
+    EXPECT_EQ(engine.counter()->muls.load(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, EngineEquivalence,
+                         ::testing::Values(models::Variant::PecanA, models::Variant::PecanD),
+                         [](const auto& info) {
+                           return info.param == models::Variant::PecanA ? "PecanA" : "PecanD";
+                         });
+
+// ------------------------------------------------------------ micro-batching
+
+TEST(Engine, SubmitReturnsSameLogitsAsDirectForward) {
+  Rng rng(31);
+  auto reference = models::make_lenet5(models::Variant::PecanD, rng);
+  reference->set_training(false);
+  Rng rng2(31);
+  auto served = models::make_lenet5(models::Variant::PecanD, rng2);
+
+  Rng data_rng(37);
+  Tensor batch = random_batch(data_rng, 6);
+  std::vector<Tensor> rows = forward_per_sample(*reference, batch);
+
+  runtime::Engine engine(std::move(served), {runtime::ExecPath::Float, /*max_batch=*/4});
+  const std::int64_t sample_numel = batch.numel() / 6;
+  std::vector<std::future<Tensor>> futures;
+  for (std::int64_t s = 0; s < 6; ++s) {
+    Tensor sample({1 * 28 * 28});
+    std::copy(batch.data() + s * sample_numel, batch.data() + (s + 1) * sample_numel,
+              sample.data());
+    futures.push_back(engine.submit(std::move(sample).reshaped({1, 28, 28})));
+  }
+  for (std::int64_t s = 0; s < 6; ++s) {
+    Tensor logits = futures[static_cast<std::size_t>(s)].get();
+    ASSERT_EQ(logits.numel(), rows[static_cast<std::size_t>(s)].numel());
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+      EXPECT_EQ(logits[i], rows[static_cast<std::size_t>(s)][i]);
+    }
+  }
+  // shutdown() joins the batcher, making the stats final before reading.
+  engine.shutdown();
+  const runtime::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.batched_samples, 6u);
+  EXPECT_GE(stats.batches, 2u);  // max_batch 4 forces at least two batches
+  EXPECT_THROW(engine.submit(Tensor({1, 28, 28})), std::runtime_error);
+}
+
+TEST(Engine, RejectsNonSampleSubmissions) {
+  Rng rng(41);
+  runtime::Engine engine(models::make_lenet5(models::Variant::PecanD, rng));
+  EXPECT_THROW(engine.submit(Tensor({28, 28})), std::invalid_argument);
+}
+
+TEST(Engine, FlattensPlanAcrossContainers) {
+  Rng rng(43);
+  runtime::Engine engine(models::make_lenet5(models::Variant::PecanD, rng));
+  // LeNet5: conv1, relu, pool, conv2, relu, pool, flatten, fc1, relu, fc2,
+  // relu, fc3 = 12 steps.
+  EXPECT_EQ(engine.plan_size(), 12);
+}
+
+// ----------------------------------------------------------- ModelArtifact
+
+TEST(ModelArtifact, SaveLoadBuildReproducesLogitsBitwise) {
+  Rng rng(53);
+  auto trained = models::make_lenet5(models::Variant::PecanD, rng);
+  trained->set_training(false);
+  Rng data_rng(59);
+  Tensor batch = random_batch(data_rng, 2);
+  Tensor expected = trained->forward(batch);
+
+  runtime::ModelArtifact artifact =
+      runtime::make_artifact("lenet5", models::Variant::PecanD, 10, *trained);
+  const std::string path = "/tmp/pecan_artifact_test.bin";
+  runtime::save_artifact(path, artifact);
+
+  runtime::ModelArtifact loaded = runtime::load_artifact(path);
+  EXPECT_EQ(loaded.model, "lenet5");
+  EXPECT_EQ(loaded.variant, models::Variant::PecanD);
+  EXPECT_EQ(loaded.num_classes, 10);
+  EXPECT_EQ(loaded.in_channels, 1);
+  EXPECT_EQ(loaded.pq_configs.size(), 5u);  // conv1, conv2, fc1-3
+
+  auto rebuilt = runtime::build_network(loaded);
+  Tensor actual = rebuilt->forward(batch);
+  ASSERT_TRUE(actual.same_shape(expected));
+  for (std::int64_t i = 0; i < actual.numel(); ++i) EXPECT_EQ(actual[i], expected[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelArtifact, EngineFromArtifactServesCamPath) {
+  Rng rng(61);
+  auto trained = models::make_lenet5(models::Variant::PecanA, rng);
+  trained->set_training(false);
+  runtime::ModelArtifact artifact =
+      runtime::make_artifact("lenet5", models::Variant::PecanA, 10, *trained);
+  const std::string path = "/tmp/pecan_artifact_cam_test.bin";
+  runtime::save_artifact(path, artifact);
+
+  cam::CamNetworkExport reference = cam::convert_to_cam(*trained);
+  Rng data_rng(67);
+  Tensor batch = random_batch(data_rng, 2);
+  std::vector<Tensor> rows = forward_per_sample(*reference.net, batch);
+
+  auto engine = runtime::Engine::from_artifact(runtime::load_artifact(path),
+                                               {runtime::ExecPath::Cam});
+  expect_bitwise_rows(engine->forward_batch(batch), rows);
+  std::remove(path.c_str());
+}
+
+TEST(ModelArtifact, EngineValidatesInputGeometryFromArtifact) {
+  Rng rng(79);
+  auto net = models::make_lenet5(models::Variant::PecanD, rng);
+  runtime::ModelArtifact artifact =
+      runtime::make_artifact("lenet5", models::Variant::PecanD, 10, *net);
+  const std::string path = "/tmp/pecan_artifact_geom_test.bin";
+  runtime::save_artifact(path, artifact);
+  auto engine = runtime::Engine::from_artifact(runtime::load_artifact(path));
+  // Wrong geometry is rejected synchronously, before queuing — a bad
+  // sample must not poison a coalesced micro-batch.
+  EXPECT_THROW(engine->submit(Tensor({3, 32, 32})), std::invalid_argument);
+  EXPECT_THROW(engine->forward_batch(Tensor({1, 3, 32, 32})), std::invalid_argument);
+  Tensor ok = engine->forward_batch(Tensor({1, 1, 28, 28}));
+  EXPECT_EQ(ok.dim(1), 10);
+  std::remove(path.c_str());
+}
+
+TEST(ModelArtifact, RejectsNonArtifactFiles) {
+  const std::string path = "/tmp/pecan_not_an_artifact.bin";
+  save_tensors(path, {{"weight", Tensor({2, 2})}});
+  EXPECT_THROW(runtime::load_artifact(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelArtifact, RejectsUnknownModelFamily) {
+  Rng rng(71);
+  auto net = models::make_lenet5(models::Variant::PecanD, rng);
+  EXPECT_THROW(runtime::make_artifact("alexnet", models::Variant::PecanD, 10, *net),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ buffers
+
+TEST(Buffers, BatchNormRunningStatsSurviveStateDict) {
+  nn::BatchNorm2d bn("bn", 3);
+  Rng rng(73);
+  bn.forward(rng.randn({4, 3, 5, 5}));  // training step updates running stats
+  TensorMap state = bn.state_dict();
+  ASSERT_TRUE(state.count("bn.running_mean"));
+  ASSERT_TRUE(state.count("bn.running_var"));
+
+  nn::BatchNorm2d restored("bn", 3);
+  restored.load_state_dict(state);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(restored.running_mean()[c], bn.running_mean()[c]);
+    EXPECT_EQ(restored.running_var()[c], bn.running_var()[c]);
+  }
+}
+
+}  // namespace
+}  // namespace pecan

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <numeric>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <numeric>
 
 #include "tensor/rng.hpp"
 #include "tensor/serialize.hpp"
@@ -208,6 +210,118 @@ TEST(Serialize, RoundTrip) {
 
 TEST(Serialize, BadFileThrows) {
   EXPECT_THROW(load_tensors("/tmp/definitely_missing_pecan_file.bin"), std::runtime_error);
+}
+
+TEST(Serialize, MetadataRoundTrip) {
+  Rng rng(37);
+  TensorMap tensors;
+  tensors["w"] = rng.randn({3, 3});
+  const MetaMap meta{{"model", "lenet5"}, {"variant", "PECAN-D"}, {"empty", ""}};
+  const std::string path = "/tmp/pecan_serialize_meta_test.bin";
+  save_tensors(path, tensors, meta);
+  TensorFile file = load_tensor_file(path);
+  EXPECT_EQ(file.meta, meta);
+  ASSERT_EQ(file.tensors.size(), 1u);
+  EXPECT_TRUE(file.tensors.at("w").same_shape(tensors.at("w")));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ZeroElementTensorsRoundTrip) {
+  TensorMap tensors;
+  tensors["empty_dim"] = Tensor({0, 3});
+  tensors["default"] = Tensor();
+  tensors["scalar"] = Tensor(Shape{}, std::vector<float>{2.5f});
+  const std::string path = "/tmp/pecan_serialize_zero_test.bin";
+  save_tensors(path, tensors);
+  TensorMap loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.at("empty_dim").numel(), 0);
+  EXPECT_EQ(loaded.at("empty_dim").shape(), (Shape{0, 3}));
+  EXPECT_EQ(loaded.at("default").numel(), 0);
+  EXPECT_EQ(loaded.at("default").ndim(), 0);
+  ASSERT_EQ(loaded.at("scalar").numel(), 1);
+  EXPECT_EQ(loaded.at("scalar")[0], 2.5f);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicGivesClearError) {
+  const std::string path = "/tmp/pecan_serialize_badmagic_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("JUNKJUNKJUNK", 12);
+  }
+  try {
+    load_tensors(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, UnsupportedVersionGivesClearError) {
+  const std::string path = "/tmp/pecan_serialize_badver_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("PCAN", 4);
+    const std::uint32_t version = 99;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+  }
+  try {
+    load_tensors(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported format version 99"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileThrows) {
+  Rng rng(41);
+  TensorMap tensors;
+  tensors["w"] = rng.randn({16, 16});
+  const std::string path = "/tmp/pecan_serialize_trunc_test.bin";
+  save_tensors(path, tensors);
+  // Chop off the tail of the payload.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 100));
+  }
+  EXPECT_THROW(load_tensors(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LegacyV1FilesStillLoad) {
+  // Hand-written v1 layout: magic | u32 1 | u64 count | name | ndim | dims
+  // | raw f32 payload (no metadata block, no explicit numel).
+  const std::string path = "/tmp/pecan_serialize_v1_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("PCAN", 4);
+    const std::uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&version), sizeof version);
+    const std::uint64_t count = 1;
+    out.write(reinterpret_cast<const char*>(&count), sizeof count);
+    const std::string name = "legacy.weight";
+    const std::uint32_t name_len = static_cast<std::uint32_t>(name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof name_len);
+    out.write(name.data(), name_len);
+    const std::uint32_t ndim = 2;
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof ndim);
+    const std::int64_t dims[2] = {2, 2};
+    out.write(reinterpret_cast<const char*>(dims), sizeof dims);
+    const float data[4] = {1.f, 2.f, 3.f, 4.f};
+    out.write(reinterpret_cast<const char*>(data), sizeof data);
+  }
+  TensorMap loaded = load_tensors(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  const Tensor& w = loaded.at("legacy.weight");
+  ASSERT_EQ(w.numel(), 4);
+  EXPECT_EQ(w[3], 4.f);
+  std::remove(path.c_str());
 }
 
 }  // namespace
