@@ -6,7 +6,11 @@
 //   * batched + threaded: runtime::Engine::forward_batch at --threads —
 //     images/sec and the speedup over the baseline;
 //   * micro-batched serving: Engine::submit request stream — p50/p99
-//     end-to-end latency and the average coalesced batch size.
+//     end-to-end latency and the average coalesced batch size;
+//   * concurrent-clients sweep: 1/2/4/8 threads calling forward_batch()
+//     simultaneously — images/sec and scaling vs one client. Before the
+//     stateless infer() path this was flat (every forward serialized on a
+//     single engine mutex); now each client leases its own InferContext.
 //
 // Weights are randomly initialized — arithmetic cost is shape-determined,
 // so trained weights would time identically. Defaults are sized for a CI
@@ -129,6 +133,40 @@ void run_spec(const ModelSpec& spec, runtime::ExecPath path, int threads, std::i
   std::fflush(stdout);
 }
 
+/// Concurrent-clients sweep: `clients` threads each push `rounds` batches
+/// of size `batch` through ONE engine at the same time. With the stateless
+/// infer() path the engine admits them all in parallel; the row reports
+/// aggregate images/sec and the scaling factor over the 1-client run.
+void run_concurrent_sweep(const ModelSpec& spec, runtime::ExecPath path, std::int64_t batch,
+                          std::int64_t rounds) {
+  const char* path_name = path == runtime::ExecPath::Float ? "float" : "cam";
+  Rng data_rng(4321);
+  const Tensor chunk = data_rng.randn({batch, spec.c, spec.h, spec.w});
+
+  double one_client_ips = 0.0;
+  for (const int clients : {1, 2, 4, 8}) {
+    runtime::Engine engine(build(spec, 99), {path, batch});
+    engine.forward_batch(chunk);  // warm the per-worker context arenas
+    util::Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (std::int64_t r = 0; r < rounds; ++r) engine.forward_batch(chunk);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double elapsed = timer.elapsed_s();
+    const double ips = static_cast<double>(clients * rounds * batch) / elapsed;
+    if (clients == 1) one_client_ips = ips;
+    const runtime::EngineStats stats = engine.stats();
+    std::printf("%-10s %-6s %7d %10.2f %7.2fx %9.2f %9.2f %5lld\n", spec.name, path_name, clients,
+                ips, ips / one_client_ips, stats.p50_ms, stats.p99_ms,
+                static_cast<long long>(stats.peak_in_flight));
+    std::fflush(stdout);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,6 +205,19 @@ int main(int argc, char** argv) {
                std::min<std::int64_t>(latency_requests, 8));
     }
   }
+
+  // Concurrent-clients sweep: the acceptance gate for the stateless infer
+  // path is >1.5x at 4 clients on the Float path (given the hardware).
+  const std::int64_t rounds = args.get_int("client-rounds", 4);
+  // Kernels run inline (1-thread pool) so the sweep isolates CLIENT-level
+  // parallelism — exactly what the old per-engine exec mutex serialized.
+  util::set_global_threads(1);
+  std::printf("\nconcurrent clients sweep (batch=%lld, %lld rounds/client, inline kernels):\n",
+              static_cast<long long>(batch), static_cast<long long>(rounds));
+  std::printf("%-10s %-6s %7s %10s %8s %9s %9s %5s\n", "model", "path", "clients", "img/s",
+              "scaling", "p50 ms", "p99 ms", "peak");
+  run_concurrent_sweep(lenet_d, runtime::ExecPath::Float, batch, rounds);
+  run_concurrent_sweep(lenet_d, runtime::ExecPath::Cam, batch, rounds);
 
   for (const std::string& key : args.unused()) {
     std::fprintf(stderr, "warning: unused argument --%s\n", key.c_str());

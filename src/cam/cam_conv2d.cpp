@@ -50,6 +50,15 @@ CamConv2d::CamConv2d(const pq::PecanConv2d& trained, std::shared_ptr<OpCounter> 
 }
 
 Tensor CamConv2d::forward(const Tensor& input) {
+  // CAM layers are inference-only (backward() throws), so the stateful path
+  // is just the stateless one plus the shape capture for inference_ops().
+  nn::InferContext ctx;
+  Tensor out = infer(input, ctx);
+  input_shape_ = input.shape();
+  return out;
+}
+
+Tensor CamConv2d::infer(const Tensor& input, nn::InferContext& ctx) const {
   if (input.ndim() != 4 || input.dim(1) != cin_) {
     throw std::invalid_argument(name_ + ": expected [N," + std::to_string(cin_) + ",H,W]");
   }
@@ -57,40 +66,41 @@ Tensor CamConv2d::forward(const Tensor& input) {
   const nn::Conv2dGeometry g{cin_, hin, win, k_, stride_, pad_};
   const std::int64_t rows = g.rows(), len = g.cols();
   const std::int64_t D = groups();
-  input_shape_ = input.shape();
 
-  Tensor cols({rows, len});
+  float* cols = ctx.arena.floats(rows * len);
   Tensor output({n, cout_, g.hout(), g.wout()});
 
   for (std::int64_t s = 0; s < n; ++s) {
-    nn::im2col(input.data() + s * cin_ * hin * win, g, cols.data());
+    nn::im2col(input.data() + s * cin_ * hin * win, g, cols);
     float* out_s = output.data() + s * cout_ * len;
     if (has_bias_) {
       for (std::int64_t c = 0; c < cout_; ++c) {
         for (std::int64_t l = 0; l < len; ++l) out_s[c * len + l] = bias_[c];
       }
     }
-    // Output locations (columns) are the parallel axis of Algorithm 1:
-    // each column l touches only out_s[.., l], arrays are read-only during
-    // search, and counter/usage updates are atomic. Each lane carries its
-    // own score/weight scratch.
+    // Same column-parallel Algorithm 1 loop as forward(). PECAN-D needs no
+    // lane scratch at all; PECAN-A carries a tiny per-lane score/weight
+    // vector (p floats — the arena is single-owner and stays on the
+    // submitting thread, so lanes use locals).
     const std::int64_t column_cost = std::max<std::int64_t>(D * p_ * d_, 1);
     const std::int64_t grain = std::max<std::int64_t>(1, (1 << 12) / column_cost);
     util::parallel_for(
         0, len,
         [&](std::int64_t l0, std::int64_t l1) {
-          std::vector<float> scores(static_cast<std::size_t>(p_));
-          std::vector<float> weights(static_cast<std::size_t>(p_));
+          std::vector<float> scores;
+          std::vector<float> weights;
+          if (mode_ == pq::MatchMode::Angle) {
+            scores.resize(static_cast<std::size_t>(p_));
+            weights.resize(static_cast<std::size_t>(p_));
+          }
           for (std::int64_t l = l0; l < l1; ++l) {
             for (std::int64_t j = 0; j < D; ++j) {
-              const float* query = cols.data() + j * d_ * len + l;
+              const float* query = cols + j * d_ * len + l;
               if (mode_ == pq::MatchMode::Distance) {
-                // Algorithm 1, lines 10-11: CAM best-match + LUT accumulate.
                 const std::int64_t hit =
                     arrays_[static_cast<std::size_t>(j)].search(query, len, *counter_);
                 luts_[static_cast<std::size_t>(j)].accumulate(hit, out_s + l, len, *counter_);
               } else {
-                // Algorithm 1, line 7: match-line scores -> softmax -> weighted sum.
                 arrays_[static_cast<std::size_t>(j)].similarity_scores(query, len, scores.data(),
                                                                        *counter_);
                 float mx = scores[0];
@@ -111,7 +121,7 @@ Tensor CamConv2d::forward(const Tensor& input) {
                 const float inv = static_cast<float>(1.0 / denom);
                 for (std::int64_t m = 0; m < p_; ++m) weights[static_cast<std::size_t>(m)] *= inv;
                 luts_[static_cast<std::size_t>(j)].weighted_accumulate(weights.data(), out_s + l,
-                                                                      len, *counter_);
+                                                                       len, *counter_);
               }
             }
           }
@@ -179,6 +189,15 @@ Tensor CamLinear::forward(const Tensor& input) {
   }
   const std::int64_t n = input.dim(0);
   Tensor out = conv_.forward(input.reshaped({n, in_, 1, 1}));
+  return std::move(out).reshaped({n, out_});
+}
+
+Tensor CamLinear::infer(const Tensor& input, nn::InferContext& ctx) const {
+  if (input.ndim() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument(name() + ": expected [N," + std::to_string(in_) + "]");
+  }
+  const std::int64_t n = input.dim(0);
+  Tensor out = conv_.infer(input.reshaped({n, in_, 1, 1}), ctx);
   return std::move(out).reshaped({n, out_});
 }
 

@@ -29,6 +29,10 @@ class CamConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;  ///< throws: inference only
+  /// Stateless CAM search + LUT accumulate; arrays/LUTs are read-only and
+  /// the usage histograms + op counter are atomic, so concurrent infer()
+  /// calls on one exported network are safe.
+  Tensor infer(const Tensor& input, nn::InferContext& ctx) const override;
   std::string name() const override { return name_; }
   ops::OpCount inference_ops() const override;
 
@@ -72,6 +76,7 @@ class CamLinear : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, nn::InferContext& ctx) const override;
   std::string name() const override { return conv_.name(); }
   ops::OpCount inference_ops() const override { return conv_.inference_ops(); }
   CamConv2d& conv() { return conv_; }

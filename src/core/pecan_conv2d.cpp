@@ -206,6 +206,60 @@ Tensor PecanConv2d::forward(const Tensor& input) {
   return output;
 }
 
+Tensor PecanConv2d::infer(const Tensor& input, nn::InferContext& ctx) const {
+  if (input.ndim() != 4 || input.dim(1) != cin_) {
+    throw std::invalid_argument(name_ + ": expected [N," + std::to_string(cin_) + ",H,W], got " +
+                                shape_str(input.shape()));
+  }
+  const std::int64_t n = input.dim(0), hin = input.dim(2), win = input.dim(3);
+  const nn::Conv2dGeometry g = geometry(hin, win);
+  const std::int64_t rows = g.rows(), len = g.cols();
+
+  Tensor output({n, cout_, g.hout(), g.wout()});
+  // All scratch is arena-backed and claimed before the parallel group loop:
+  // lanes only ever write their group's disjoint slices.
+  float* cols = ctx.arena.floats(rows * len);
+  float* xq = ctx.arena.floats(rows * len);
+  float* k_all = ctx.arena.floats(D_ * p_ * len);
+  std::int64_t* hard_all = ctx.arena.ints(D_ * len);
+
+  const std::int64_t group_grain = D_ >= 8 ? 1 : D_;
+  for (std::int64_t s = 0; s < n; ++s) {
+    nn::im2col(input.data() + s * cin_ * hin * win, g, cols);
+    util::parallel_for(
+        0, D_,
+        [&](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t j = j0; j < j1; ++j) {
+            float* k_buf = k_all + j * p_ * len;
+            std::int64_t* hard_buf = hard_all + j * len;
+            match_group(j, cols + j * d_ * len, len, k_buf, hard_buf, /*training_path=*/false);
+
+            float* xq_group = xq + j * d_ * len;
+            if (config_.mode == MatchMode::Angle) {
+              sgemm(true, false, d_, len, p_, 1.f, codebook_.prototype(j, 0), d_, k_buf, len, 0.f,
+                    xq_group, len);
+            } else {
+              for (std::int64_t l = 0; l < len; ++l) {
+                const float* proto = codebook_.prototype(j, hard_buf[l]);
+                for (std::int64_t i = 0; i < d_; ++i) xq_group[i * len + l] = proto[i];
+              }
+            }
+          }
+        },
+        group_grain);
+    matmul(weight_.value.data(), xq, output.data() + s * cout_ * len, cout_, len, rows);
+  }
+  if (has_bias_) {
+    for (std::int64_t s = 0; s < n; ++s) {
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        float* out = output.data() + (s * cout_ + c) * len;
+        for (std::int64_t l = 0; l < len; ++l) out[l] += bias_.value[c];
+      }
+    }
+  }
+  return output;
+}
+
 Tensor PecanConv2d::backward(const Tensor& grad_output) {
   if (cached_n_ == 0) throw std::logic_error(name_ + ": backward before forward");
   const std::int64_t n = cached_n_;

@@ -33,6 +33,10 @@ class PecanConv2d : public nn::Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// Stateless prototype matching: the per-call K/hard-index scratch that
+  /// forward() keeps in members lives in `ctx` here, so concurrent calls
+  /// share the (frozen) codebook and filter safely.
+  Tensor infer(const Tensor& input, nn::InferContext& ctx) const override;
   std::vector<nn::Parameter*> parameters() override;
   std::string name() const override { return name_; }
   void set_epoch_progress(double progress) override;

@@ -20,6 +20,16 @@ Tensor PecanLinear::forward(const Tensor& input) {
   return std::move(out).reshaped({n, out_});
 }
 
+Tensor PecanLinear::infer(const Tensor& input, nn::InferContext& ctx) const {
+  if (input.ndim() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument(name() + ": expected [N," + std::to_string(in_) + "], got " +
+                                shape_str(input.shape()));
+  }
+  const std::int64_t n = input.dim(0);
+  Tensor out = conv_.infer(input.reshaped({n, in_, 1, 1}), ctx);
+  return std::move(out).reshaped({n, out_});
+}
+
 Tensor PecanLinear::backward(const Tensor& grad_output) {
   const std::int64_t n = grad_output.dim(0);
   Tensor grad = conv_.backward(grad_output.reshaped({n, out_, 1, 1}));

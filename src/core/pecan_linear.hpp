@@ -17,6 +17,7 @@ class PecanLinear : public nn::Module {
 
   Tensor forward(const Tensor& input) override;   ///< [N, in] -> [N, out]
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, nn::InferContext& ctx) const override;
   std::vector<nn::Parameter*> parameters() override { return conv_.parameters(); }
   std::string name() const override { return conv_.name(); }
   void set_training(bool training) override;

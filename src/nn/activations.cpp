@@ -19,6 +19,12 @@ Tensor ReLU::forward(const Tensor& input) {
   return output;
 }
 
+Tensor ReLU::infer(const Tensor& input, InferContext&) const {
+  Tensor output(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) output[i] = input[i] > 0.f ? input[i] : 0.f;
+  return output;
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
   if (mask_.empty()) throw std::logic_error(name_ + ": backward before forward");
   Tensor grad_input(grad_output.shape());
@@ -29,6 +35,12 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 Tensor Flatten::forward(const Tensor& input) {
   if (input.ndim() < 2) throw std::invalid_argument(name_ + ": need rank >= 2");
   input_shape_ = input.shape();
+  const std::int64_t n = input.dim(0);
+  return input.reshaped({n, input.numel() / n});
+}
+
+Tensor Flatten::infer(const Tensor& input, InferContext&) const {
+  if (input.ndim() < 2) throw std::invalid_argument(name_ + ": need rank >= 2");
   const std::int64_t n = input.dim(0);
   return input.reshaped({n, input.numel() / n});
 }

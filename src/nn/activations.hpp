@@ -10,6 +10,7 @@ class ReLU : public Module {
   explicit ReLU(std::string name = "relu") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::string name() const override { return name_; }
 
  private:
@@ -23,6 +24,7 @@ class Flatten : public Module {
   explicit Flatten(std::string name = "flatten") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::string name() const override { return name_; }
 
  private:

@@ -23,6 +23,7 @@ class AdderConv2d : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
   ops::OpCount inference_ops() const override;

@@ -68,6 +68,25 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
   return output;
 }
 
+Tensor BatchNorm2d::infer(const Tensor& input, InferContext&) const {
+  if (input.ndim() != 4 || input.dim(1) != channels_) {
+    throw std::invalid_argument(name_ + ": expected [N," + std::to_string(channels_) + ",H,W]");
+  }
+  const std::int64_t n = input.dim(0), hw = input.dim(2) * input.dim(3);
+  Tensor output(input.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float inv_std = 1.f / std::sqrt(running_var_[c] + eps_);
+    const float scale = gamma_.value[c] * inv_std;
+    const float shift = beta_.value[c] - running_mean_[c] * scale;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* in = input.data() + (s * channels_ + c) * hw;
+      float* out = output.data() + (s * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) out[i] = scale * in[i] + shift;
+    }
+  }
+  return output;
+}
+
 Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   if (cached_xhat_.empty()) throw std::logic_error(name_ + ": backward before forward");
   const std::int64_t n = input_shape_[0], hw = input_shape_[2] * input_shape_[3];

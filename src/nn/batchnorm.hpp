@@ -16,6 +16,9 @@ class BatchNorm2d : public Module {
 
   Tensor forward(const Tensor& input) override;  ///< [N, C, H, W]
   Tensor backward(const Tensor& grad_output) override;
+  /// Frozen-statistics normalization; batch stats never enter the serving
+  /// path, so infer() reads only running_mean/var + gamma/beta.
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::vector<Parameter*> parameters() override;
   std::vector<std::pair<std::string, Tensor*>> buffers() override {
     return {{name_ + ".running_mean", &running_mean_}, {name_ + ".running_var", &running_var_}};

@@ -55,6 +55,34 @@ Tensor Conv2d::forward(const Tensor& input) {
   return output;
 }
 
+Tensor Conv2d::infer(const Tensor& input, InferContext& ctx) const {
+  if (input.ndim() != 4 || input.dim(1) != cin_) {
+    throw std::invalid_argument(name_ + ": expected [N," + std::to_string(cin_) +
+                                ",H,W], got " + shape_str(input.shape()));
+  }
+  const std::int64_t n = input.dim(0), hin = input.dim(2), win = input.dim(3);
+  const Conv2dGeometry g = geometry(hin, win);
+  const std::int64_t rows = g.rows(), cols = g.cols();
+
+  Tensor output({n, cout_, g.hout(), g.wout()});
+  // One im2col panel, reused per sample (nothing is kept for backward).
+  float* col_s = ctx.arena.floats(rows * cols);
+  for (std::int64_t s = 0; s < n; ++s) {
+    im2col(input.data() + s * cin_ * hin * win, g, col_s);
+    matmul(weight_.value.data(), col_s, output.data() + s * cout_ * cols, cout_, cols, rows);
+  }
+  if (has_bias_) {
+    for (std::int64_t s = 0; s < n; ++s) {
+      for (std::int64_t c = 0; c < cout_; ++c) {
+        float* out = output.data() + (s * cout_ + c) * cols;
+        const float b = bias_.value[c];
+        for (std::int64_t i = 0; i < cols; ++i) out[i] += b;
+      }
+    }
+  }
+  return output;
+}
+
 Tensor Conv2d::backward(const Tensor& grad_output) {
   if (cached_n_ == 0) throw std::logic_error(name_ + ": backward before forward");
   const std::int64_t n = cached_n_;

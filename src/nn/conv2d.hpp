@@ -16,6 +16,7 @@ class Conv2d : public Module {
 
   Tensor forward(const Tensor& input) override;   ///< [N, cin, H, W] -> [N, cout, Ho, Wo]
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
   ops::OpCount inference_ops() const override;

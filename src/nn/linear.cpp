@@ -35,6 +35,24 @@ Tensor Linear::forward(const Tensor& input) {
   return output;
 }
 
+Tensor Linear::infer(const Tensor& input, InferContext&) const {
+  if (input.ndim() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument(name_ + ": expected [N," + std::to_string(in_) + "], got " +
+                                shape_str(input.shape()));
+  }
+  const std::int64_t n = input.dim(0);
+  Tensor output({n, out_});
+  sgemm(false, true, n, out_, in_, 1.f, input.data(), in_, weight_.value.data(), in_, 0.f,
+        output.data(), out_);
+  if (has_bias_) {
+    for (std::int64_t s = 0; s < n; ++s) {
+      float* row = output.data() + s * out_;
+      for (std::int64_t o = 0; o < out_; ++o) row[o] += bias_.value[o];
+    }
+  }
+  return output;
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
   if (cached_input_.empty()) throw std::logic_error(name_ + ": backward before forward");
   const std::int64_t n = cached_input_.dim(0);

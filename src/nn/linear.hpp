@@ -14,6 +14,7 @@ class Linear : public Module {
 
   Tensor forward(const Tensor& input) override;  ///< [N, in] -> [N, out]
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return name_; }
   ops::OpCount inference_ops() const override;

@@ -4,6 +4,10 @@
 
 namespace pecan::nn {
 
+Tensor Module::infer(const Tensor&, InferContext&) const {
+  throw std::logic_error(name() + ": infer() not implemented (training-only module?)");
+}
+
 TensorMap Module::state_dict() {
   TensorMap state;
   for (Parameter* p : parameters()) {
@@ -47,6 +51,12 @@ void Module::load_state_dict(const TensorMap& state) {
 Tensor Sequential::forward(const Tensor& input) {
   Tensor x = input;
   for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::infer(const Tensor& input, InferContext& ctx) const {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->infer(x, ctx);
   return x;
 }
 

@@ -8,6 +8,16 @@
 // epoch-aware tanh sign approximation) exactly where Eq. (5)/(6) of the
 // paper prescribe it.
 //
+// Two execution paths share each layer's math:
+//   * forward()/backward() — the stateful training path: forward caches the
+//     backward context inside the module, so one module supports one
+//     in-flight pass at a time;
+//   * infer(input, ctx) — the stateless serving path: const on the module,
+//     bitwise-identical to an eval-mode forward(), with every per-call
+//     buffer drawn from the caller's InferContext arena. Any number of
+//     in-flight infer() calls may share one network (the runtime Engine
+//     keeps one context per concurrent worker).
+//
 // Data layout convention: activations are NCHW ([N, C, H, W]) for conv
 // stacks and [N, F] for fully-connected stacks.
 #pragma once
@@ -17,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "nn/infer_context.hpp"
 #include "ops/op_count.hpp"
 #include "tensor/serialize.hpp"
 #include "tensor/tensor.hpp"
@@ -46,6 +57,12 @@ class Module {
 
   /// Given dL/d(output), accumulates parameter grads and returns dL/d(input).
   virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Stateless inference: bitwise-identical to an eval-mode forward() but
+  /// const — all per-call scratch comes from `ctx`, so concurrent calls on
+  /// one module are safe. Layers that can be served must override this;
+  /// the default throws (training-only modules like losses never serve).
+  virtual Tensor infer(const Tensor& input, InferContext& ctx) const;
 
   /// All trainable parameters (recursively for containers).
   virtual std::vector<Parameter*> parameters() { return {}; }
@@ -98,6 +115,7 @@ class Sequential : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::vector<Parameter*> parameters() override;
   std::vector<std::pair<std::string, Tensor*>> buffers() override;
   std::string name() const override { return name_.empty() ? "Sequential" : name_; }

@@ -12,6 +12,7 @@ class MaxPool2d : public Module {
   MaxPool2d(std::string name, std::int64_t k, std::int64_t stride);
   Tensor forward(const Tensor& input) override;   ///< [N,C,H,W] -> [N,C,Ho,Wo]
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;  ///< no argmax kept
   std::string name() const override { return name_; }
   std::int64_t kernel() const { return k_; }
   std::int64_t stride() const { return stride_; }
@@ -29,6 +30,7 @@ class GlobalAvgPool : public Module {
   explicit GlobalAvgPool(std::string name = "gap") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::string name() const override { return name_; }
 
  private:

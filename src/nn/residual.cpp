@@ -35,6 +35,27 @@ Tensor OptionAShortcut::forward(const Tensor& input) {
   return output;
 }
 
+Tensor OptionAShortcut::infer(const Tensor& input, InferContext&) const {
+  if (input.ndim() != 4 || input.dim(1) != cin_) {
+    throw std::invalid_argument(name_ + ": expected [N," + std::to_string(cin_) + ",H,W]");
+  }
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t ho = (h + stride_ - 1) / stride_, wo = (w + stride_ - 1) / stride_;
+  Tensor output({n, cout_, ho, wo});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t c = 0; c < cin_; ++c) {
+      const float* in = input.data() + (s * cin_ + c) * h * w;
+      float* out = output.data() + (s * cout_ + c) * ho * wo;
+      for (std::int64_t oi = 0; oi < ho; ++oi) {
+        for (std::int64_t oj = 0; oj < wo; ++oj) {
+          out[oi * wo + oj] = in[(oi * stride_) * w + oj * stride_];
+        }
+      }
+    }
+  }
+  return output;
+}
+
 Tensor OptionAShortcut::backward(const Tensor& grad_output) {
   if (input_shape_.empty()) throw std::logic_error(name_ + ": backward before forward");
   const std::int64_t n = input_shape_[0], h = input_shape_[2], w = input_shape_[3];
@@ -77,6 +98,18 @@ Tensor Residual::forward(const Tensor& input) {
       for (std::int64_t i = 0; i < main_out.numel(); ++i) {
         if (main_out[i] < 0.f) main_out[i] = 0.f;
       }
+    }
+  }
+  return main_out;
+}
+
+Tensor Residual::infer(const Tensor& input, InferContext& ctx) const {
+  Tensor main_out = main_->infer(input, ctx);
+  Tensor short_out = shortcut_->infer(input, ctx);
+  add_(main_out, short_out);
+  if (relu_after_) {
+    for (std::int64_t i = 0; i < main_out.numel(); ++i) {
+      if (main_out[i] < 0.f) main_out[i] = 0.f;
     }
   }
   return main_out;

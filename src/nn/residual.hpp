@@ -18,6 +18,7 @@ class Identity : public Module {
   explicit Identity(std::string name = "identity") : name_(std::move(name)) {}
   Tensor forward(const Tensor& input) override { return input; }
   Tensor backward(const Tensor& grad_output) override { return grad_output; }
+  Tensor infer(const Tensor& input, InferContext&) const override { return input; }
   std::string name() const override { return name_; }
 
  private:
@@ -31,6 +32,7 @@ class OptionAShortcut : public Module {
   OptionAShortcut(std::string name, std::int64_t cin, std::int64_t cout, std::int64_t stride);
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::string name() const override { return name_; }
   std::int64_t cin() const { return cin_; }
   std::int64_t cout() const { return cout_; }
@@ -50,6 +52,7 @@ class Residual : public Module {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input, InferContext& ctx) const override;
   std::vector<Parameter*> parameters() override;
   std::vector<std::pair<std::string, Tensor*>> buffers() override {
     auto all = main_->buffers();

@@ -10,12 +10,14 @@
 namespace pecan::runtime {
 
 namespace {
+constexpr std::size_t kLatencyWindow = 1024;  ///< recent forwards kept for p50/p99
+
 /// Flattens nested Sequentials into a linear step list. Residual blocks
 /// stay single steps: their two branches are an internal fork/join, not a
 /// pipeline stage.
-void flatten(nn::Module& module, std::vector<nn::Module*>& plan,
+void flatten(const nn::Module& module, std::vector<const nn::Module*>& plan,
              std::vector<std::string>& names) {
-  if (auto* seq = dynamic_cast<nn::Sequential*>(&module)) {
+  if (const auto* seq = dynamic_cast<const nn::Sequential*>(&module)) {
     for (std::size_t i = 0; i < seq->size(); ++i) flatten(seq->layer(i), plan, names);
     return;
   }
@@ -31,6 +33,7 @@ Engine::Engine(std::unique_ptr<nn::Sequential> net, EngineConfig config)
   net_->set_training(false);
   if (config_.path == ExecPath::Cam) export_ = cam::convert_to_cam(*net_);
   compile();
+  latency_window_.reserve(kLatencyWindow);
 }
 
 std::unique_ptr<Engine> Engine::from_artifact(const ModelArtifact& artifact, EngineConfig config) {
@@ -53,14 +56,57 @@ void Engine::compile() {
   if (plan_.empty()) throw std::invalid_argument("Engine: empty network");
 }
 
+// ---------------------------------------------------------- context leasing
+
+Engine::ContextLease::ContextLease(Engine& engine) : engine_(engine), ctx_(nullptr) {
+  std::int64_t materialized;
+  {
+    std::lock_guard<std::mutex> lock(engine_.ctx_mutex_);
+    if (!engine_.free_contexts_.empty()) {
+      ctx_ = engine_.free_contexts_.back();
+      engine_.free_contexts_.pop_back();
+    } else {
+      engine_.contexts_.push_back(std::make_unique<nn::InferContext>());
+      ctx_ = engine_.contexts_.back().get();
+    }
+    materialized = static_cast<std::int64_t>(engine_.contexts_.size());
+  }
+  std::lock_guard<std::mutex> stats_lock(engine_.stats_mutex_);
+  // max(): concurrent leases release ctx_mutex_ before taking stats_mutex_,
+  // so a smaller materialized count may arrive later — never regress.
+  engine_.stats_.contexts = std::max(engine_.stats_.contexts, materialized);
+  ++engine_.stats_.in_flight;
+  engine_.stats_.peak_in_flight =
+      std::max(engine_.stats_.peak_in_flight, engine_.stats_.in_flight);
+}
+
+Engine::ContextLease::~ContextLease() {
+  {
+    std::lock_guard<std::mutex> lock(engine_.ctx_mutex_);
+    engine_.free_contexts_.push_back(ctx_);
+  }
+  std::lock_guard<std::mutex> stats_lock(engine_.stats_mutex_);
+  --engine_.stats_.in_flight;
+}
+
+// ------------------------------------------------------------------ forwards
+
 Tensor Engine::run_plan(const Tensor& batch) {
-  std::lock_guard<std::mutex> exec_lock(exec_mutex_);
+  const auto start = std::chrono::steady_clock::now();
+  ContextLease lease(*this);
+  nn::InferContext& ctx = lease.ctx();
+  ctx.reset();
   Tensor x = batch;
-  for (nn::Module* step : plan_) x = step->forward(x);
+  for (const nn::Module* step : plan_) x = step->infer(x, ctx);
+  record_latency(
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count());
   return x;
 }
 
 Tensor Engine::forward_batch(const Tensor& batch) {
+  if (batch.numel() == 0) {
+    throw std::invalid_argument("Engine::forward_batch: empty batch " + shape_str(batch.shape()));
+  }
   if (!config_.input_shape.empty()) {
     const bool shape_ok = batch.ndim() == 4 && batch.dim(1) == config_.input_shape[0] &&
                           batch.dim(2) == config_.input_shape[1] &&
@@ -77,6 +123,8 @@ Tensor Engine::forward_batch(const Tensor& batch) {
   return out;
 }
 
+// ------------------------------------------------------------ micro-batching
+
 void Engine::ensure_batcher() {
   if (batcher_running_) return;
   batcher_running_ = true;
@@ -88,9 +136,13 @@ std::future<Tensor> Engine::submit(Tensor sample) {
     throw std::invalid_argument("Engine::submit: expected a [C,H,W] sample, got " +
                                 shape_str(sample.shape()));
   }
-  // Reject geometry mismatches here, synchronously: a bad sample queued
-  // into a coalesced micro-batch would otherwise fail the whole batch on
-  // the batcher thread, poisoning other callers' futures.
+  // Reject degenerate and mismatched samples here, synchronously: a bad
+  // sample queued into a coalesced micro-batch would otherwise fail the
+  // whole batch on the batcher thread, poisoning other callers' futures.
+  if (sample.numel() == 0) {
+    throw std::invalid_argument("Engine::submit: zero-element sample " +
+                                shape_str(sample.shape()));
+  }
   if (!config_.input_shape.empty() && sample.shape() != config_.input_shape) {
     throw std::invalid_argument("Engine::submit: expected a " +
                                 shape_str(config_.input_shape) + " sample, got " +
@@ -162,6 +214,13 @@ void Engine::execute_pending(std::vector<Pending>& batch) {
       throw std::logic_error("Engine: network returned batch dim " +
                              shape_str(out.shape()) + " for batch of " + std::to_string(b));
     }
+    // Count before resolving the promises so a client that reads stats()
+    // right after future.get() never sees its own batch missing.
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.batched_samples += static_cast<std::uint64_t>(b);
+    }
     Shape row_shape(out.shape().begin() + 1, out.shape().end());
     const std::int64_t row_numel = out.numel() / b;
     for (std::int64_t i = 0; i < b; ++i) {
@@ -170,29 +229,67 @@ void Engine::execute_pending(std::vector<Pending>& batch) {
                   static_cast<std::size_t>(row_numel) * sizeof(float));
       batch[static_cast<std::size_t>(i)].promise.set_value(std::move(row));
     }
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-      ++stats_.batches;
-      stats_.batched_samples += static_cast<std::uint64_t>(b);
-    }
   } catch (...) {
     for (Pending& pending : batch) pending.promise.set_exception(std::current_exception());
   }
 }
 
 void Engine::shutdown() {
+  // Serialize shutdown() callers: std::thread::join from two threads at
+  // once is undefined, and the destructor also routes through here.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  std::thread batcher;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stopping_ = true;
+    // Claim the thread handle under queue_mutex_ so a concurrent submit()'s
+    // ensure_batcher() can never race the join: it either started the
+    // batcher before this point (we join it) or observes stopping_ and
+    // throws without starting one.
+    batcher = std::move(batcher_);
+    batcher_running_ = false;
   }
   queue_cv_.notify_all();
-  if (batcher_.joinable()) batcher_.join();
-  batcher_running_ = false;
+  if (batcher.joinable()) batcher.join();
+  // The batcher drains the queue before exiting, so this is normally empty;
+  // answer any leftovers cleanly rather than letting promises break when
+  // the deque is destroyed.
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftover.swap(queue_);
+  }
+  for (Pending& pending : leftover) {
+    pending.promise.set_exception(
+        std::make_exception_ptr(std::runtime_error("Engine::submit: engine is shut down")));
+  }
+}
+
+// -------------------------------------------------------------------- stats
+
+void Engine::record_latency(double ms) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(ms);
+  } else {
+    latency_window_[latency_next_] = ms;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
 }
 
 EngineStats Engine::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  EngineStats snapshot = stats_;
+  if (!latency_window_.empty()) {
+    std::vector<double> sorted = latency_window_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      return sorted[static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1))];
+    };
+    snapshot.p50_ms = at(0.50);
+    snapshot.p99_ms = at(0.99);
+  }
+  return snapshot;
 }
 
 }  // namespace pecan::runtime

@@ -11,16 +11,25 @@
 //     batch_wait for stragglers) and answers through futures — the classic
 //     serving-side latency/throughput trade.
 //
+// Concurrency model: the network is immutable after compile() and every
+// forward executes through the stateless Module::infer path, with all
+// per-call scratch drawn from an nn::InferContext. The engine keeps a
+// free-list of contexts — one per concurrently in-flight execution, grown
+// on demand up to peak concurrency and retained for reuse — so any number
+// of forward_batch() callers plus the batcher thread run fully in
+// parallel; there is no per-forward mutex.
+//
 // Execution paths:
 //   Float — the trained pq::PecanConv2d network as-is (prototype matching
 //           in f32; also serves Baseline/Adder variants);
 //   Cam   — the network exported through cam::convert_to_cam (CAM search +
-//           LUT accumulate, Algorithm 1); the shared OpCounter stays exact
-//           under the multi-threaded executor because it is atomic.
+//           LUT accumulate, Algorithm 1); the shared OpCounter and usage
+//           histograms stay exact under concurrency because they are atomic.
 //
-// Per-sample results are bitwise-identical to an unbatched forward() at any
-// thread count: batching never crosses samples and the pool's parallel_for
-// preserves per-output accumulation order (asserted by test_runtime).
+// Per-sample results are bitwise-identical to an unbatched forward at any
+// thread count AND any client concurrency: batching never crosses samples,
+// the pool's parallel_for chunk boundaries are timing-independent, and
+// infer() touches no shared mutable state (asserted by test_runtime).
 #pragma once
 
 #include <chrono>
@@ -61,6 +70,11 @@ struct EngineStats {
   std::uint64_t batches = 0;          ///< micro-batches executed
   std::uint64_t batched_samples = 0;  ///< samples served through micro-batches
   std::uint64_t direct_batches = 0;   ///< forward_batch() calls
+  std::int64_t in_flight = 0;         ///< forwards executing at snapshot time
+  std::int64_t peak_in_flight = 0;    ///< max concurrent forwards observed
+  std::int64_t contexts = 0;          ///< InferContexts materialized (= peak concurrency)
+  double p50_ms = 0.0;                ///< forward-pass latency, median (recent window)
+  double p99_ms = 0.0;                ///< forward-pass latency, 99th percentile
 };
 
 class Engine {
@@ -78,17 +92,20 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Synchronous batched forward. One in-flight execution at a time (the
-  /// layers cache per-call state); callers queue on an internal mutex.
+  /// Synchronous batched forward. Fully concurrent: each call leases its
+  /// own InferContext, so N client threads get N in-flight executions.
   Tensor forward_batch(const Tensor& batch);
 
-  /// Enqueues one sample ([C,H,W]) for micro-batched execution; the future
-  /// yields its logits row ([classes]) or rethrows the execution error.
-  /// The batcher thread starts lazily on first use.
+  /// Enqueues one sample ([C,H,W], non-empty) for micro-batched execution;
+  /// the future yields its logits row ([classes]) or rethrows the execution
+  /// error. The batcher thread starts lazily on first use.
   std::future<Tensor> submit(Tensor sample);
 
   /// Drains pending requests, answers them, and stops the batcher thread.
-  /// Subsequent submit() calls throw; forward_batch keeps working.
+  /// Idempotent and safe to race with submit(): a concurrent submit()
+  /// either gets a future that is served/failed cleanly or throws
+  /// std::runtime_error — it never observes a broken promise. Subsequent
+  /// submit() calls throw; forward_batch keeps working.
   void shutdown();
 
   std::int64_t plan_size() const { return static_cast<std::int64_t>(plan_.size()); }
@@ -107,21 +124,42 @@ class Engine {
     std::promise<Tensor> promise;
   };
 
-  nn::Module& active() { return export_.net ? *export_.net : *net_; }
+  /// RAII lease of one InferContext from the engine's free-list; also
+  /// maintains the in-flight gauge.
+  class ContextLease {
+   public:
+    explicit ContextLease(Engine& engine);
+    ~ContextLease();
+    ContextLease(const ContextLease&) = delete;
+    ContextLease& operator=(const ContextLease&) = delete;
+    nn::InferContext& ctx() { return *ctx_; }
+
+   private:
+    Engine& engine_;
+    nn::InferContext* ctx_;
+  };
+
+  const nn::Module& active() const { return export_.net ? *export_.net : *net_; }
   Tensor run_plan(const Tensor& batch);
   void compile();
   void batcher_loop();
   void execute_pending(std::vector<Pending>& batch);
   void ensure_batcher();
+  void record_latency(double ms);
 
   std::unique_ptr<nn::Sequential> net_;
   cam::CamNetworkExport export_;  ///< .net is null on the Float path
   EngineConfig config_;
 
-  std::vector<nn::Module*> plan_;  ///< flattened execution steps, in order
+  std::vector<const nn::Module*> plan_;  ///< flattened execution steps, in order
   std::vector<std::string> plan_names_;
 
-  std::mutex exec_mutex_;  ///< serializes forward passes (layer-state safety)
+  // Per-worker inference contexts: leased per in-flight forward, grown on
+  // demand, owned for the engine's lifetime (arenas keep their high-water
+  // capacity, so steady-state serving allocates no scratch).
+  std::mutex ctx_mutex_;
+  std::vector<std::unique_ptr<nn::InferContext>> contexts_;
+  std::vector<nn::InferContext*> free_contexts_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -129,9 +167,12 @@ class Engine {
   std::thread batcher_;
   bool batcher_running_ = false;
   bool stopping_ = false;
+  std::mutex shutdown_mutex_;  ///< serializes concurrent shutdown() joiners
 
   mutable std::mutex stats_mutex_;
   EngineStats stats_;
+  std::vector<double> latency_window_;  ///< ring of recent forward latencies (ms)
+  std::size_t latency_next_ = 0;
 };
 
 }  // namespace pecan::runtime

@@ -143,6 +143,28 @@ TEST(CamConv2d, EquivalentToPecanAngleLayer) {
   }
 }
 
+TEST(CamConv2d, InferMatchesForwardBitwise) {
+  // The stateless serving path issues the same searches/accumulates in the
+  // same order as forward(), so outputs AND op counts must agree exactly.
+  Rng rng(5);
+  pq::PecanConv2d layer("p", 4, 8, 3, 1, 1, true, dist_cfg(8, 9), rng);
+  layer.set_training(false);
+  auto counter = std::make_shared<OpCounter>();
+  CamConv2d exported(layer, counter);
+  Tensor x = rng.randn({2, 4, 6, 6});
+  Tensor via_forward = exported.forward(x);
+  const std::uint64_t forward_adds = counter->adds.load();
+  counter->reset();
+  nn::InferContext ctx;
+  Tensor via_infer = exported.infer(x, ctx);
+  ASSERT_TRUE(via_forward.same_shape(via_infer));
+  for (std::int64_t i = 0; i < via_forward.numel(); ++i) {
+    EXPECT_EQ(via_forward[i], via_infer[i]) << i;
+  }
+  EXPECT_EQ(counter->adds.load(), forward_adds);
+  EXPECT_EQ(counter->muls.load(), 0u);
+}
+
 TEST(CamConv2d, DistanceInferenceHasZeroMultiplications) {
   // The paper's headline property: PECAN-D is truly multiplier-free.
   Rng rng(3);

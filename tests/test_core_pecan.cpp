@@ -160,6 +160,37 @@ TEST(PecanConv, TrainEvalForwardAgreeForDistance) {
   }
 }
 
+TEST(PecanConv, InferMatchesEvalForwardBitwise) {
+  // The stateless serving path must reproduce the eval forward exactly for
+  // both matching modes — same match_group, same lookup, same GEMM order.
+  Rng rng(9);
+  PecanConv2d dist("pd", 2, 3, 3, 1, 1, true, dist_cfg(8, 9), rng);
+  PecanConv2d angle("pa", 2, 3, 3, 1, 1, true, angle_cfg(8, 9), rng);
+  Tensor x = rng.randn({2, 2, 6, 6});
+  nn::InferContext ctx;
+  for (PecanConv2d* layer : {&dist, &angle}) {
+    layer->set_training(false);
+    Tensor eval_out = layer->forward(x);
+    ctx.reset();
+    Tensor infer_out = layer->infer(x, ctx);
+    ASSERT_TRUE(infer_out.same_shape(eval_out));
+    for (std::int64_t i = 0; i < eval_out.numel(); ++i) {
+      EXPECT_EQ(infer_out[i], eval_out[i]) << layer->name() << " element " << i;
+    }
+  }
+}
+
+TEST(PecanLinear, InferMatchesEvalForwardBitwise) {
+  Rng rng(13);
+  PecanLinear fc("fc", 16, 4, true, dist_cfg(4, 8), rng);
+  fc.set_training(false);
+  Tensor x = rng.randn({3, 16});
+  Tensor eval_out = fc.forward(x);
+  nn::InferContext ctx;
+  Tensor infer_out = fc.infer(x, ctx);
+  for (std::int64_t i = 0; i < eval_out.numel(); ++i) EXPECT_EQ(infer_out[i], eval_out[i]);
+}
+
 TEST(PecanConv, EpochProgressControlsSurrogateSharpness) {
   // Same setup, two epoch progresses: gradients must differ (the a=exp(4e/E)
   // schedule is live), and both must be finite.

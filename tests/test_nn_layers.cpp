@@ -267,6 +267,122 @@ TEST(SoftmaxCrossEntropy, AccuracyPercent) {
   EXPECT_DOUBLE_EQ(acc, 75.0);
 }
 
+// --------------------------------------------------- stateless infer path
+
+/// Every element must match bit-for-bit: infer() is the serving-path twin
+/// of an eval-mode forward().
+void expect_bitwise(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]) << "element " << i;
+}
+
+TEST(InferPath, ConvStackMatchesEvalForwardBitwise) {
+  Rng rng(33);
+  Sequential net("stack");
+  net.emplace<Conv2d>("conv", 2, 4, 3, 1, 1, /*bias=*/true, rng);
+  net.emplace<BatchNorm2d>("bn", 4);
+  net.emplace<ReLU>("relu");
+  net.emplace<MaxPool2d>("pool", 2, 2);
+  net.emplace<Flatten>("flatten");
+  net.emplace<Linear>("fc", 4 * 4 * 4, 5, /*bias=*/true, rng);
+  // Run one training step so BN has non-trivial running stats.
+  Rng data_rng(35);
+  net.forward(data_rng.randn({4, 2, 8, 8}));
+  net.set_training(false);
+
+  Tensor x = data_rng.randn({3, 2, 8, 8});
+  Tensor eval_out = net.forward(x);
+  InferContext ctx;
+  expect_bitwise(net.infer(x, ctx), eval_out);
+  // Second call reuses the arena slots and must be unchanged.
+  ctx.reset();
+  expect_bitwise(net.infer(x, ctx), eval_out);
+}
+
+TEST(InferPath, ResidualAdderGapMatchEvalForward) {
+  Rng rng(37);
+  auto main = std::make_unique<Sequential>("main");
+  main->emplace<AdderConv2d>("adder", 2, 4, 3, 2, 1, rng);
+  main->emplace<BatchNorm2d>("bn", 4);
+  auto shortcut = std::make_unique<OptionAShortcut>("sc", 2, 4, 2);
+  Sequential net("res");
+  net.append(std::make_unique<Residual>("r", std::move(main), std::move(shortcut), true));
+  net.emplace<GlobalAvgPool>("gap");
+  Rng data_rng(39);
+  net.forward(data_rng.randn({2, 2, 8, 8}));
+  net.set_training(false);
+
+  Tensor x = data_rng.randn({2, 2, 8, 8});
+  Tensor eval_out = net.forward(x);
+  InferContext ctx;
+  expect_bitwise(net.infer(x, ctx), eval_out);
+}
+
+TEST(InferPath, InferIsConstAndLeavesTrainingStateAlone) {
+  Rng rng(41);
+  Sequential net("n");
+  net.emplace<Conv2d>("conv", 1, 2, 3, 1, 0, true, rng);
+  net.emplace<ReLU>("relu");
+  Rng data_rng(43);
+  Tensor train_x = data_rng.randn({2, 1, 6, 6});
+  net.forward(train_x);  // caches backward context
+  // A const infer() must not disturb the pending backward.
+  const Sequential& frozen = net;
+  InferContext ctx;
+  frozen.infer(data_rng.randn({1, 1, 6, 6}), ctx);
+  Tensor g({2, 2, 4, 4}, 1.f);
+  EXPECT_NO_THROW(net.backward(g));
+}
+
+TEST(InferPath, TrainingOnlyModulesThrow) {
+  // Modules without an override (e.g. losses) must fail loudly, not serve
+  // garbage.
+  class TrainOnly : public Module {
+   public:
+    Tensor forward(const Tensor& input) override { return input; }
+    Tensor backward(const Tensor& g) override { return g; }
+    std::string name() const override { return "train_only"; }
+  };
+  TrainOnly m;
+  InferContext ctx;
+  EXPECT_THROW(m.infer(Tensor({1}), ctx), std::logic_error);
+}
+
+TEST(ScratchArena, SlotsAreReusedAfterReset) {
+  ScratchArena arena;
+  float* a = arena.floats(128);
+  std::int64_t* b = arena.ints(16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  const std::int64_t resident = arena.resident_bytes();
+  EXPECT_EQ(resident, 128 * 4 + 16 * 8);  // 128 floats + 16 int64s
+
+  arena.reset();
+  // Same slot order, smaller-or-equal requests: identical pointers, no
+  // new allocation (the steady-state serving guarantee).
+  EXPECT_EQ(arena.floats(64), a);
+  EXPECT_EQ(arena.ints(16), b);
+  EXPECT_EQ(arena.resident_bytes(), resident);
+
+  // A bigger request regrows that slot only.
+  arena.reset();
+  float* grown = arena.floats(256);
+  ASSERT_NE(grown, nullptr);
+  EXPECT_EQ(arena.resident_bytes(), 256 * 4 + 16 * 8);
+}
+
+TEST(ScratchArena, DistinctSlotsDoNotAlias) {
+  ScratchArena arena;
+  float* a = arena.floats(32);
+  float* b = arena.floats(32);
+  EXPECT_NE(a, b);
+  for (int i = 0; i < 32; ++i) {
+    a[i] = 1.f;
+    b[i] = 2.f;
+  }
+  EXPECT_EQ(a[0], 1.f);
+}
+
 TEST(Sequential, ChainsAndCollectsParams) {
   Rng rng(31);
   Sequential net("mini");

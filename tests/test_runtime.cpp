@@ -7,10 +7,12 @@
 #include <cstdio>
 #include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "cam/convert.hpp"
 #include "models/lenet.hpp"
+#include "models/resnet.hpp"
 #include "nn/batchnorm.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/model_artifact.hpp"
@@ -226,6 +228,197 @@ TEST(Engine, FlattensPlanAcrossContainers) {
   // LeNet5: conv1, relu, pool, conv2, relu, pool, flatten, fc1, relu, fc2,
   // relu, fc3 = 12 steps.
   EXPECT_EQ(engine.plan_size(), 12);
+}
+
+// --------------------------------------------------- concurrent serving
+
+/// Hammer forward_batch() from several client threads and require every
+/// result to stay bitwise-identical to the single-threaded per-sample
+/// forward — the tentpole guarantee of the stateless infer() path.
+void hammer_concurrent_clients(runtime::Engine& engine, const Tensor& batch,
+                               const std::vector<Tensor>& rows, int clients, int reps) {
+  std::vector<Tensor> results(static_cast<std::size_t>(clients * reps));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < reps; ++r) {
+        results[static_cast<std::size_t>(c * reps + r)] = engine.forward_batch(batch);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Tensor& out : results) expect_bitwise_rows(out, rows);
+}
+
+TEST_P(EngineEquivalence, FloatPathConcurrentClientsBitwiseIdentical) {
+  Rng rng(83);
+  auto reference = models::make_lenet5(GetParam(), rng);
+  reference->set_training(false);
+  Rng rng2(83);
+  auto served = models::make_lenet5(GetParam(), rng2);
+
+  Rng data_rng(89);
+  Tensor batch = random_batch(data_rng, 4);
+  std::vector<Tensor> rows = forward_per_sample(*reference, batch);
+
+  util::set_global_threads(3);
+  runtime::Engine engine(std::move(served));
+  hammer_concurrent_clients(engine, batch, rows, /*clients=*/4, /*reps=*/4);
+  const runtime::EngineStats stats = engine.stats();
+  util::set_global_threads(1);
+  EXPECT_EQ(stats.direct_batches, 16u);
+  EXPECT_EQ(stats.in_flight, 0);  // all drained
+  EXPECT_GE(stats.peak_in_flight, 1);
+  EXPECT_GE(stats.contexts, 1);
+  EXPECT_LE(stats.contexts, 4);  // never more contexts than peak clients
+  EXPECT_GT(stats.p99_ms, 0.0);
+  EXPECT_LE(stats.p50_ms, stats.p99_ms);
+}
+
+TEST_P(EngineEquivalence, CamPathConcurrentClientsBitwiseIdentical) {
+  Rng rng(97);
+  auto trained = models::make_lenet5(GetParam(), rng);
+  trained->set_training(false);
+
+  cam::CamNetworkExport reference = cam::convert_to_cam(*trained);
+  Rng data_rng(101);
+  Tensor batch = random_batch(data_rng, 3);
+  std::vector<Tensor> rows = forward_per_sample(*reference.net, batch);
+
+  util::set_global_threads(3);
+  runtime::Engine engine(std::move(trained), {runtime::ExecPath::Cam});
+  hammer_concurrent_clients(engine, batch, rows, /*clients=*/4, /*reps=*/2);
+  util::set_global_threads(1);
+  ASSERT_NE(engine.counter(), nullptr);
+  if (GetParam() == models::Variant::PecanD) {
+    EXPECT_EQ(engine.counter()->muls.load(), 0u);
+  }
+}
+
+TEST(EngineConcurrency, ConcurrentSubmitAndForwardBatchAgree) {
+  // Mixed workload: direct batches and micro-batched submits in flight at
+  // once; both must match the sequential reference bitwise.
+  Rng rng(103);
+  auto reference = models::make_lenet5(models::Variant::PecanD, rng);
+  reference->set_training(false);
+  Rng rng2(103);
+  auto served = models::make_lenet5(models::Variant::PecanD, rng2);
+
+  Rng data_rng(107);
+  Tensor batch = random_batch(data_rng, 4);
+  std::vector<Tensor> rows = forward_per_sample(*reference, batch);
+  const std::int64_t sample_numel = batch.numel() / 4;
+
+  util::set_global_threads(3);
+  runtime::Engine engine(std::move(served), {runtime::ExecPath::Float, /*max_batch=*/4});
+  std::vector<std::future<Tensor>> futures;
+  std::thread direct([&] {
+    for (int r = 0; r < 4; ++r) expect_bitwise_rows(engine.forward_batch(batch), rows);
+  });
+  for (std::int64_t s = 0; s < 4; ++s) {
+    Tensor sample({1, 28, 28});
+    std::copy(batch.data() + s * sample_numel, batch.data() + (s + 1) * sample_numel,
+              sample.data());
+    futures.push_back(engine.submit(std::move(sample)));
+  }
+  for (std::int64_t s = 0; s < 4; ++s) {
+    Tensor logits = futures[static_cast<std::size_t>(s)].get();
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+      EXPECT_EQ(logits[i], rows[static_cast<std::size_t>(s)][i]);
+    }
+  }
+  direct.join();
+  util::set_global_threads(1);
+}
+
+TEST(EngineConcurrency, ResNetServingPlanMatchesEvalForward) {
+  // Residual / BatchNorm / GAP / option-A shortcuts through the stateless
+  // plan — the layers the LeNet tests don't reach.
+  Rng rng(109);
+  auto reference = models::make_resnet20(models::Variant::Baseline, 10, rng);
+  reference->set_training(false);
+  Rng rng2(109);
+  auto served = models::make_resnet20(models::Variant::Baseline, 10, rng2);
+
+  Rng data_rng(113);
+  Tensor batch = data_rng.randn({2, 3, 32, 32});
+  Tensor expected = reference->forward(batch);
+
+  util::set_global_threads(3);
+  runtime::Engine engine(std::move(served));
+  Tensor out = engine.forward_batch(batch);
+  util::set_global_threads(1);
+  ASSERT_TRUE(out.same_shape(expected));
+  for (std::int64_t i = 0; i < out.numel(); ++i) EXPECT_EQ(out[i], expected[i]);
+}
+
+// ----------------------------------------------- submit validation + races
+
+TEST(Engine, RejectsZeroElementSubmissionsUpFront) {
+  // No input_shape configured: a [0,28,28] sample used to reach the
+  // batcher thread and poison its whole micro-batch.
+  Rng rng(127);
+  runtime::Engine engine(models::make_lenet5(models::Variant::PecanD, rng));
+  EXPECT_THROW(engine.submit(Tensor({0, 28, 28})), std::invalid_argument);
+  EXPECT_THROW(engine.submit(Tensor({1, 0, 28})), std::invalid_argument);
+  EXPECT_THROW(engine.forward_batch(Tensor({0, 1, 28, 28})), std::invalid_argument);
+  EXPECT_THROW(engine.forward_batch(Tensor()), std::invalid_argument);
+}
+
+TEST(Engine, ShutdownDuringConcurrentSubmitsNeverBreaksPromises) {
+  Rng rng(131);
+  runtime::Engine engine(models::make_lenet5(models::Variant::PecanD, rng),
+                         {runtime::ExecPath::Float, /*max_batch=*/4});
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 24;
+
+  std::atomic<std::uint64_t> served{0}, rejected{0}, failed_cleanly{0}, broken{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      Rng data_rng(137);
+      std::vector<std::future<Tensor>> futures;
+      for (int r = 0; r < kPerClient; ++r) {
+        try {
+          futures.push_back(engine.submit(data_rng.randn({1, 28, 28})));
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1);  // clean post-shutdown rejection
+        }
+      }
+      for (auto& future : futures) {
+        try {
+          Tensor logits = future.get();
+          if (logits.numel() == 10) served.fetch_add(1);
+        } catch (const std::future_error&) {
+          broken.fetch_add(1);  // broken promise — the bug this test guards
+        } catch (const std::exception&) {
+          failed_cleanly.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Race shutdown against the submitters; some requests land before it,
+  // some after.
+  engine.shutdown();
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(broken.load(), 0u);
+  EXPECT_EQ(served.load() + rejected.load() + failed_cleanly.load(),
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  // Post-shutdown, submits keep throwing cleanly and forward_batch works.
+  EXPECT_THROW(engine.submit(Tensor({1, 28, 28})), std::runtime_error);
+  EXPECT_EQ(engine.forward_batch(Tensor({1, 1, 28, 28})).dim(1), 10);
+}
+
+TEST(Engine, ConcurrentShutdownCallsAreSafe) {
+  Rng rng(139);
+  runtime::Engine engine(models::make_lenet5(models::Variant::PecanD, rng));
+  engine.submit(Rng(141).randn({1, 28, 28})).get();
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) closers.emplace_back([&] { engine.shutdown(); });
+  for (std::thread& t : closers) t.join();
+  EXPECT_THROW(engine.submit(Tensor({1, 28, 28})), std::runtime_error);
 }
 
 // ----------------------------------------------------------- ModelArtifact
