@@ -1,92 +1,336 @@
-// Kernel-level microbenchmarks (google-benchmark): the primitives behind
-// inference — SGEMM (baseline conv / PECAN-A scores), L1 best-match CAM
-// search (PECAN-D stage 1), LUT accumulation (stage 2), and im2col.
-// These quantify the per-primitive costs that Table 1 counts symbolically.
-#include <benchmark/benchmark.h>
+// Kernel before/after harness: the primitives behind serving — CAM
+// best-match search (PECAN-D stage 1), match-line dot reads (PECAN-A),
+// LUT accumulation (stage 2), SGEMM, im2col — each measured with the
+// scalar reference kernel ("before": column-at-a-time strided search,
+// naive i-j-k gemm) and the blocked kernel the hot path now runs
+// ("after": tiled [d, Lb] CAM scans, 6x16 register-blocked gemm), plus
+// end-to-end CamConv2d/CamLinear img/s. Emits BENCH_kernels.json so the
+// perf trajectory has checked-in data points.
+//
+//   ./bench_kernels                 full run (~1 min), writes BENCH_kernels.json
+//   ./bench_kernels --smoke         seconds-scale CI run, same JSON schema
+//   ./bench_kernels --json out.json --threads 2
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "cam/cam_array.hpp"
+#include "cam/cam_conv2d.hpp"
 #include "cam/lut.hpp"
+#include "core/pecan_linear.hpp"
 #include "nn/im2col.hpp"
+#include "nn/infer_context.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/sgemm.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 using namespace pecan;
 
 namespace {
 
-void BM_Sgemm(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
-  Rng rng(1);
+volatile float g_sink = 0.f;  // defeats dead-code elimination
+
+struct Row {
+  std::string name;
+  std::string unit;
+  double scalar = -1.0;   ///< "before" kernel rate; < 0 when not applicable
+  double blocked = -1.0;  ///< "after" kernel rate
+  double gb_per_s = -1.0; ///< effective bandwidth of the blocked kernel
+  double speedup() const { return scalar > 0 && blocked > 0 ? blocked / scalar : -1.0; }
+};
+
+/// Runs body() until `min_time` elapsed (after one warmup call) and returns
+/// calls per second.
+template <typename F>
+double rate(F&& body, double min_time) {
+  body();
+  util::Timer timer;
+  std::int64_t reps = 0;
+  do {
+    body();
+    ++reps;
+  } while (timer.elapsed_s() < min_time);
+  return static_cast<double>(reps) / timer.elapsed_s();
+}
+
+Row bench_cam_search(cam::SearchMetric metric, std::int64_t p, std::int64_t d, std::int64_t len,
+                     double min_time) {
+  Rng rng(static_cast<std::uint64_t>(p * 100 + d));
+  cam::CamArray array(rng.randn({p, d}), metric);
+  Tensor cols = rng.randn({d, len});
+  cam::OpCounter counter;
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(len));
+  std::vector<float> scores(static_cast<std::size_t>(p * cam::kCamTileMax));
+
+  const bool l1 = metric == cam::SearchMetric::L1BestMatch;
+  const double scalar_rate = rate(
+      [&] {
+        if (l1) {
+          std::int64_t acc = 0;
+          for (std::int64_t l = 0; l < len; ++l) acc += array.search(cols.data() + l, len, counter);
+          g_sink = static_cast<float>(acc);
+        } else {
+          for (std::int64_t l = 0; l < len; ++l) {
+            array.similarity_scores(cols.data() + l, len, scores.data(), counter);
+          }
+          g_sink = scores[0];
+        }
+      },
+      min_time);
+
+  std::vector<float> qtile(static_cast<std::size_t>(d * cam::kCamTileMax));
+  const double blocked_rate = rate(
+      [&] {
+        std::int64_t acc = 0;
+        for (std::int64_t l0 = 0; l0 < len; l0 += cam::kCamTileMax) {
+          const std::int64_t lb = std::min<std::int64_t>(cam::kCamTileMax, len - l0);
+          nn::pack_cols_tile(cols.data(), len, d, l0, lb, qtile.data());
+          if (l1) {
+            array.search_block(qtile.data(), lb, hits.data() + l0, counter);
+            acc += hits[static_cast<std::size_t>(l0)];
+          } else {
+            array.similarity_scores_block(qtile.data(), lb, scores.data(), counter);
+            acc += static_cast<std::int64_t>(scores[0]);
+          }
+        }
+        g_sink = static_cast<float>(acc);
+      },
+      min_time);
+
+  Row row;
+  row.name = std::string(l1 ? "cam_l1_search" : "cam_dot_scores") + "_p" + std::to_string(p) +
+             "_d" + std::to_string(d);
+  row.unit = "searches/s";
+  row.scalar = scalar_rate * static_cast<double>(len);
+  row.blocked = blocked_rate * static_cast<double>(len);
+  // Per search the scan touches the full word array plus the query.
+  row.gb_per_s = row.blocked * static_cast<double>((p * d + d) * 4) / 1e9;
+  return row;
+}
+
+Row bench_lut(std::int64_t cout, std::int64_t p, std::int64_t len, double min_time) {
+  Rng rng(static_cast<std::uint64_t>(cout + p));
+  cam::LutMemory lut(rng.randn({cout, p}));
+  cam::OpCounter counter;
+  Tensor out({cout, len});
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(len));
+  for (std::int64_t l = 0; l < len; ++l) hits[static_cast<std::size_t>(l)] = (l * 7) % p;
+
+  const double scalar_rate = rate(
+      [&] {
+        for (std::int64_t l = 0; l < len; ++l) {
+          lut.accumulate(hits[static_cast<std::size_t>(l)], out.data() + l, len, counter);
+        }
+        g_sink = out[0];
+      },
+      min_time);
+  const double blocked_rate = rate(
+      [&] {
+        for (std::int64_t l0 = 0; l0 < len; l0 += cam::kCamTileMax) {
+          const std::int64_t lb = std::min<std::int64_t>(cam::kCamTileMax, len - l0);
+          lut.accumulate_block(hits.data() + l0, lb, out.data() + l0, len, counter);
+        }
+        g_sink = out[0];
+      },
+      min_time);
+
+  Row row;
+  row.name = "lut_accumulate_c" + std::to_string(cout) + "_p" + std::to_string(p);
+  row.unit = "accumulates/s";
+  row.scalar = scalar_rate * static_cast<double>(len);
+  row.blocked = blocked_rate * static_cast<double>(len);
+  row.gb_per_s = row.blocked * static_cast<double>(cout * 8) / 1e9;  // read col + rmw out
+  return row;
+}
+
+// The pre-PR scalar gemm kernel, kept verbatim as the "before" side: i-k-j
+// loop that streams the whole C row through memory once per k step, with
+// the same pool-parallel row partition the old sgemm used.
+void old_streaming_gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+                        const float* b, float* c) {
+  constexpr std::int64_t kBlockK = 256;
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, (1 << 16) / std::max<std::int64_t>(n * k, 1));
+  util::parallel_for(
+      0, m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          std::fill(c + i * n, c + (i + 1) * n, 0.f);
+          for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+            const std::int64_t k1 = std::min(k, k0 + kBlockK);
+            for (std::int64_t kk = k0; kk < k1; ++kk) {
+              const float aik = a[i * k + kk];
+              if (aik == 0.f) continue;
+              const float* brow = b + kk * n;
+              float* crow = c + i * n;
+              for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+            }
+          }
+        }
+      },
+      grain);
+}
+
+Row bench_sgemm(std::int64_t n, double min_time) {
+  Rng rng(static_cast<std::uint64_t>(n));
   Tensor a = rng.randn({n, n});
   Tensor b = rng.randn({n, n});
   Tensor c({n, n});
-  for (auto _ : state) {
-    matmul(a.data(), b.data(), c.data(), n, n, n);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  const double ref_rate = rate(
+      [&] {
+        old_streaming_gemm(n, n, n, a.data(), b.data(), c.data());
+        g_sink = c[0];
+      },
+      min_time);
+  const double blocked_rate = rate(
+      [&] {
+        matmul(a.data(), b.data(), c.data(), n, n, n);
+        g_sink = c[0];
+      },
+      min_time);
+  Row row;
+  row.name = "sgemm_" + std::to_string(n);
+  row.unit = "gflop/s";
+  row.scalar = ref_rate * flops / 1e9;
+  row.blocked = blocked_rate * flops / 1e9;
+  return row;
 }
-BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_CamL1Search(benchmark::State& state) {
-  const std::int64_t p = state.range(0), d = state.range(1);
-  Rng rng(2);
-  cam::CamArray array(rng.randn({p, d}), cam::SearchMetric::L1BestMatch);
-  Tensor queries = rng.randn({d, 64});
-  cam::OpCounter counter;
-  std::int64_t q = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(array.search(queries.data() + (q++ % 64), 64, counter));
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * p * d);  // adds per search
-}
-BENCHMARK(BM_CamL1Search)->Args({64, 3})->Args({64, 9})->Args({32, 16})->Args({8, 16});
-
-void BM_CamDotScores(benchmark::State& state) {
-  const std::int64_t p = state.range(0), d = state.range(1);
-  Rng rng(3);
-  cam::CamArray array(rng.randn({p, d}), cam::SearchMetric::DotProduct);
-  Tensor queries = rng.randn({d, 64});
-  std::vector<float> scores(static_cast<std::size_t>(p));
-  cam::OpCounter counter;
-  std::int64_t q = 0;
-  for (auto _ : state) {
-    array.similarity_scores(queries.data() + (q++ % 64), 64, scores.data(), counter);
-    benchmark::DoNotOptimize(scores.data());
-  }
-  state.SetItemsProcessed(state.iterations() * p * d);
-}
-BENCHMARK(BM_CamDotScores)->Args({16, 9})->Args({8, 16});
-
-void BM_LutAccumulate(benchmark::State& state) {
-  const std::int64_t cout = state.range(0), p = state.range(1);
-  Rng rng(4);
-  cam::LutMemory lut(rng.randn({cout, p}));
-  std::vector<float> out(static_cast<std::size_t>(cout));
-  cam::OpCounter counter;
-  std::int64_t k = 0;
-  for (auto _ : state) {
-    lut.accumulate((k++) % p, out.data(), 1, counter);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * cout);
-}
-BENCHMARK(BM_LutAccumulate)->Args({128, 32})->Args({512, 32});
-
-void BM_Im2col(benchmark::State& state) {
-  const std::int64_t c = state.range(0), hw = state.range(1);
-  Rng rng(5);
+Row bench_im2col(std::int64_t c, std::int64_t hw, double min_time) {
+  Rng rng(static_cast<std::uint64_t>(c));
   Tensor image = rng.randn({c, hw, hw});
   nn::Conv2dGeometry g{c, hw, hw, 3, 1, 1};
   Tensor cols({g.rows(), g.cols()});
-  for (auto _ : state) {
-    nn::im2col(image.data(), g, cols.data());
-    benchmark::DoNotOptimize(cols.data());
-  }
-  state.SetItemsProcessed(state.iterations() * g.rows() * g.cols());
+  const double reps = rate(
+      [&] {
+        nn::im2col(image.data(), g, cols.data());
+        g_sink = cols[0];
+      },
+      min_time);
+  Row row;
+  row.name = "im2col_c" + std::to_string(c) + "_hw" + std::to_string(hw);
+  row.unit = "unfolds/s";
+  row.blocked = reps;
+  row.gb_per_s = reps * static_cast<double>((g.rows() * g.cols() + c * hw * hw) * 4) / 1e9;
+  return row;
 }
-BENCHMARK(BM_Im2col)->Args({16, 32})->Args({128, 32});
+
+Row bench_camconv(bool angle, double min_time) {
+  Rng rng(angle ? 31 : 30);
+  pq::PqLayerConfig cfg;
+  cfg.mode = angle ? pq::MatchMode::Angle : pq::MatchMode::Distance;
+  cfg.p = 32;
+  cfg.d = 6;
+  cfg.temperature = 1.f;
+  pq::PecanConv2d trained("bench", 6, 16, 5, 1, 0, true, cfg, rng);
+  trained.set_training(false);
+  cam::CamConv2d layer(trained, std::make_shared<cam::OpCounter>());
+  const std::int64_t batch = 8;
+  Tensor x = rng.randn({batch, 6, 14, 14});
+  nn::InferContext ctx;
+  const double reps = rate(
+      [&] {
+        ctx.reset();
+        Tensor out = layer.infer(x, ctx);
+        g_sink = out[0];
+      },
+      min_time);
+  Row row;
+  row.name = angle ? "camconv_lenet_a" : "camconv_lenet_d";
+  row.unit = "img/s";
+  row.blocked = reps * static_cast<double>(batch);
+  return row;
+}
+
+Row bench_camlinear(double min_time) {
+  Rng rng(32);
+  pq::PqLayerConfig cfg;
+  cfg.mode = pq::MatchMode::Distance;
+  cfg.p = 32;
+  cfg.d = 8;
+  cfg.temperature = 1.f;
+  pq::PecanLinear trained("bench_fc", 256, 128, true, cfg, rng);
+  trained.set_training(false);
+  cam::CamLinear layer(trained.conv(), std::make_shared<cam::OpCounter>());
+  const std::int64_t batch = 64;  // len = 1 per sample: the sample-parallel case
+  Tensor x = rng.randn({batch, 256});
+  nn::InferContext ctx;
+  const double reps = rate(
+      [&] {
+        ctx.reset();
+        Tensor out = layer.infer(x, ctx);
+        g_sink = out[0];
+      },
+      min_time);
+  Row row;
+  row.name = "camlinear_fc256x128_d";
+  row.unit = "img/s";
+  row.blocked = reps * static_cast<double>(batch);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows, bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_kernels: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernels\",\n  \"threads\": %d,\n  \"smoke\": %s,\n",
+               util::global_lanes(), smoke ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"unit\": \"%s\"", r.name.c_str(), r.unit.c_str());
+    if (r.scalar >= 0) std::fprintf(f, ", \"scalar\": %.4g", r.scalar);
+    if (r.blocked >= 0) std::fprintf(f, ", \"blocked\": %.4g", r.blocked);
+    if (r.speedup() >= 0) std::fprintf(f, ", \"speedup\": %.3g", r.speedup());
+    if (r.gb_per_s >= 0) std::fprintf(f, ", \"gb_per_s\": %.4g", r.gb_per_s);
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const std::string json_path = args.get("json", "BENCH_kernels.json");
+  const long threads = args.get_int("threads", 0);
+  if (threads > 0) util::set_global_threads(static_cast<int>(threads));
+
+  const double min_time = smoke ? 0.02 : 0.4;
+  const std::int64_t len = smoke ? 512 : 4096;
+
+  std::vector<Row> rows;
+  rows.push_back(bench_cam_search(cam::SearchMetric::L1BestMatch, 64, 9, len, min_time));
+  rows.push_back(bench_cam_search(cam::SearchMetric::L1BestMatch, 32, 16, len, min_time));
+  rows.push_back(bench_cam_search(cam::SearchMetric::L1BestMatch, 8, 4, len, min_time));
+  rows.push_back(bench_cam_search(cam::SearchMetric::DotProduct, 16, 9, len, min_time));
+  rows.push_back(bench_cam_search(cam::SearchMetric::DotProduct, 8, 16, len, min_time));
+  rows.push_back(bench_lut(128, 32, len, min_time));
+  rows.push_back(bench_lut(512, 32, len, min_time));
+  rows.push_back(bench_sgemm(64, min_time));
+  rows.push_back(bench_sgemm(128, min_time));
+  rows.push_back(bench_sgemm(256, min_time));
+  rows.push_back(bench_im2col(16, 32, min_time));
+  rows.push_back(bench_im2col(128, 32, min_time));
+  rows.push_back(bench_camconv(false, min_time));
+  rows.push_back(bench_camconv(true, min_time));
+  rows.push_back(bench_camlinear(min_time));
+
+  std::printf("%-28s %14s %14s %9s %9s  %s\n", "kernel", "scalar", "blocked", "speedup",
+              "GB/s", "unit");
+  for (const Row& r : rows) {
+    std::printf("%-28s %14.4g %14.4g %9.3g %9.4g  %s\n", r.name.c_str(), r.scalar, r.blocked,
+                r.speedup(), r.gb_per_s, r.unit.c_str());
+  }
+  write_json(json_path, rows, smoke);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "cam/cam_array.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -47,6 +48,104 @@ std::int64_t CamArray::search(const float* query, std::int64_t stride, OpCounter
   }
   record_usage(best);
   return best;
+}
+
+void CamArray::search_block(const float* queries, std::int64_t lb, std::int64_t* hits,
+                            OpCounter& counter) const {
+  if (lb <= 0) return;
+  if (lb > kCamTileMax) throw std::invalid_argument("CamArray: tile larger than kCamTileMax");
+  // Tile-wide running state stays on the stack (lb <= kCamTileMax): the
+  // whole scan works out of L1 — one stored word versus lb contiguous
+  // queries — and the inner loops over l are unit-stride so the compiler
+  // can vectorize them. The winner-take-all update is branchless over
+  // 32-bit indices (select, not branch) for the same reason; a strict
+  // </> keeps the scalar path's lowest-index tie-break.
+  float dist[kCamTileMax];
+  float best[kCamTileMax];
+  std::int32_t hit32[kCamTileMax];
+  std::fill(hit32, hit32 + lb, 0);
+  if (metric_ == SearchMetric::L1BestMatch) {
+    std::fill(best, best + lb, std::numeric_limits<float>::max());
+    for (std::int64_t m = 0; m < p_; ++m) {
+      const float* w = words_.data() + m * d_;
+      std::fill(dist, dist + lb, 0.f);
+      for (std::int64_t i = 0; i < d_; ++i) {
+        const float wi = w[i];
+        const float* q = queries + i * lb;
+        for (std::int64_t l = 0; l < lb; ++l) dist[l] += std::fabs(q[l] - wi);
+      }
+      const std::int32_t m32 = static_cast<std::int32_t>(m);
+      for (std::int64_t l = 0; l < lb; ++l) {
+        const bool better = dist[l] < best[l];
+        best[l] = better ? dist[l] : best[l];
+        hit32[l] = better ? m32 : hit32[l];
+      }
+    }
+    counter.adds.fetch_add(static_cast<std::uint64_t>(2 * p_ * d_ * lb), std::memory_order_relaxed);
+  } else {
+    std::fill(best, best + lb, -std::numeric_limits<float>::max());
+    for (std::int64_t m = 0; m < p_; ++m) {
+      const float* w = words_.data() + m * d_;
+      std::fill(dist, dist + lb, 0.f);
+      for (std::int64_t i = 0; i < d_; ++i) {
+        const float wi = w[i];
+        const float* q = queries + i * lb;
+        for (std::int64_t l = 0; l < lb; ++l) dist[l] += q[l] * wi;
+      }
+      const std::int32_t m32 = static_cast<std::int32_t>(m);
+      for (std::int64_t l = 0; l < lb; ++l) {
+        const bool better = dist[l] > best[l];
+        best[l] = better ? dist[l] : best[l];
+        hit32[l] = better ? m32 : hit32[l];
+      }
+    }
+    counter.adds.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
+    counter.muls.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
+  }
+  for (std::int64_t l = 0; l < lb; ++l) hits[l] = hit32[l];
+  counter.cam_searches.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
+  record_usage_block(hits, lb);
+}
+
+void CamArray::similarity_scores_block(const float* queries, std::int64_t lb, float* scores,
+                                       OpCounter& counter) const {
+  if (lb <= 0) return;
+  if (lb > kCamTileMax) throw std::invalid_argument("CamArray: tile larger than kCamTileMax");
+  for (std::int64_t m = 0; m < p_; ++m) {
+    const float* w = words_.data() + m * d_;
+    float* row = scores + m * lb;
+    std::fill(row, row + lb, 0.f);
+    for (std::int64_t i = 0; i < d_; ++i) {
+      const float wi = w[i];
+      const float* q = queries + i * lb;
+      for (std::int64_t l = 0; l < lb; ++l) row[l] += q[l] * wi;
+    }
+  }
+  counter.cam_searches.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
+  counter.adds.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
+  counter.muls.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
+}
+
+void CamArray::record_usage_block(const std::int64_t* hits, std::int64_t lb) const {
+  if (lb <= 0) return;
+  if (lb > kCamTileMax) throw std::invalid_argument("CamArray: tile larger than kCamTileMax");
+  // Aggregate before touching the shared histogram: lb hits usually land on
+  // a handful of distinct words, so this turns lb atomics into a few. The
+  // scratch vector is kept all-zero between calls (entries are reset as
+  // they are flushed), so only `touched` distinct words cost anything.
+  thread_local std::vector<std::uint32_t> counts;
+  if (counts.size() < static_cast<std::size_t>(p_)) counts.resize(static_cast<std::size_t>(p_), 0);
+  std::int64_t touched[kCamTileMax];
+  std::int64_t nt = 0;
+  for (std::int64_t l = 0; l < lb; ++l) {
+    const std::size_t m = static_cast<std::size_t>(hits[l]);
+    if (counts[m]++ == 0) touched[nt++] = hits[l];
+  }
+  for (std::int64_t t = 0; t < nt; ++t) {
+    const std::size_t m = static_cast<std::size_t>(touched[t]);
+    std::atomic_ref<std::uint64_t>(usage_[m]).fetch_add(counts[m], std::memory_order_relaxed);
+    counts[m] = 0;
+  }
 }
 
 void CamArray::similarity_scores(const float* query, std::int64_t stride, float* scores,

@@ -23,6 +23,11 @@ namespace pecan::cam {
 
 enum class SearchMetric { L1BestMatch, DotProduct };
 
+/// Max columns per blocked search call. Sized so the per-tile scratch
+/// (distances, hits, packed queries) lives in L1 next to the word being
+/// scanned, and so the kernels can keep it on the stack.
+inline constexpr std::int64_t kCamTileMax = 64;
+
 class CamArray {
  public:
   /// words: [p, d] row-major (prototype-major, as pq::Codebook stores them).
@@ -40,10 +45,29 @@ class CamArray {
   /// Increments counter.adds (L1: 2*p*d) or counter.adds/muls (dot: p*d).
   std::int64_t search(const float* query, std::int64_t stride, OpCounter& counter) const;
 
+  /// Blocked best-match search over a tile of lb <= kCamTileMax queries
+  /// packed dim-major: component i of query l at queries[i * lb + l] (see
+  /// nn::pack_cols_tile). Scans every stored word across the whole tile with
+  /// unit-stride inner loops and issues ONE relaxed atomic aggregate per
+  /// call (cam_searches += lb, adds/muls += per-search cost * lb) plus one
+  /// usage-histogram atomic per *distinct* hit word. hits[l] is
+  /// bitwise-identical to search(query_l, ...) — same scan order, same
+  /// summation order, same lowest-index tie-break.
+  void search_block(const float* queries, std::int64_t lb, std::int64_t* hits,
+                    OpCounter& counter) const;
+
   /// Dot-product read of ALL match lines (PECAN-A needs the full score
   /// vector for its softmax): scores[m] = <word_m, query>.
   void similarity_scores(const float* query, std::int64_t stride, float* scores,
                          OpCounter& counter) const;
+
+  /// Blocked match-line read: scores[m * lb + l] = <word_m, query_l> for a
+  /// dim-major query tile (layout as in search_block). One atomic aggregate
+  /// per call; each score bitwise-equal to similarity_scores. Does NOT
+  /// record usage — the caller records the post-softmax argmax, ideally via
+  /// record_usage_block.
+  void similarity_scores_block(const float* queries, std::int64_t lb, float* scores,
+                               OpCounter& counter) const;
 
   /// Usage histogram maintenance (Fig. 6). Atomic: the runtime engine
   /// searches one array from many lanes concurrently and the histogram
@@ -52,6 +76,9 @@ class CamArray {
     std::atomic_ref<std::uint64_t>(usage_[static_cast<std::size_t>(word)])
         .fetch_add(1, std::memory_order_relaxed);
   }
+  /// Aggregated histogram update for a tile of hits: one relaxed atomic per
+  /// distinct word instead of one per hit.
+  void record_usage_block(const std::int64_t* hits, std::int64_t lb) const;
   const std::vector<std::uint64_t>& usage() const { return usage_; }
   void reset_usage() const { std::fill(usage_.begin(), usage_.end(), 0); }
 

@@ -67,66 +67,129 @@ Tensor CamConv2d::infer(const Tensor& input, nn::InferContext& ctx) const {
   const std::int64_t rows = g.rows(), len = g.cols();
   const std::int64_t D = groups();
 
-  float* cols = ctx.arena.floats(rows * len);
   Tensor output({n, cout_, g.hout(), g.wout()});
 
-  for (std::int64_t s = 0; s < n; ++s) {
-    nn::im2col(input.data() + s * cin_ * hin * win, g, cols);
-    float* out_s = output.data() + s * cout_ * len;
-    if (has_bias_) {
-      for (std::int64_t c = 0; c < cout_; ++c) {
-        for (std::int64_t l = 0; l < len; ++l) out_s[c * len + l] = bias_[c];
+  // Bias broadcast hoisted over the whole batch in one sweep; the search
+  // loop below only ever accumulates.
+  if (has_bias_) {
+    util::parallel_for(
+        0, n * cout_,
+        [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const float b = bias_[r % cout_];
+            float* out_r = output.data() + r * len;
+            for (std::int64_t l = 0; l < len; ++l) out_r[l] = b;
+          }
+        },
+        std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(len, 1)));
+  }
+
+  // Algorithm 1, tile-at-a-time. Per tile and group, the queries are packed
+  // once into a contiguous [d, lb] block and searched with the blocked
+  // kernels; every output element is owned by exactly one work item and
+  // accumulated in ascending-j order, which keeps results bitwise-identical
+  // to the scalar column-at-a-time path at any thread count.
+  const std::int64_t ntiles = (len + kCamTileMax - 1) / kCamTileMax;
+  const std::int64_t tile_cost = std::max<std::int64_t>(D * p_ * d_ * kCamTileMax, 1);
+  const std::int64_t grain = std::max<std::int64_t>(1, (1 << 12) / tile_cost);
+
+  // One tile of one sample: the unit of parallel work. Lane-local scratch
+  // comes from the caller (the arena is single-owner and stays on the
+  // submitting thread, so lanes may not allocate from it).
+  const auto tile_body = [&](const float* cols, float* out_s, std::int64_t l0, std::int64_t lb,
+                             float* qtile, std::int64_t* hits, float* scores) {
+    for (std::int64_t j = 0; j < D; ++j) {
+      const CamArray& array = arrays_[static_cast<std::size_t>(j)];
+      const LutMemory& lut = luts_[static_cast<std::size_t>(j)];
+      nn::pack_cols_tile(cols + j * d_ * len, len, d_, l0, lb, qtile);
+      if (mode_ == pq::MatchMode::Distance) {
+        array.search_block(qtile, lb, hits, *counter_);
+        lut.accumulate_block(hits, lb, out_s + l0, len, *counter_);
+      } else {
+        array.similarity_scores_block(qtile, lb, scores, *counter_);
+        // Column softmax of the [p, lb] score tile, in place — same
+        // per-element operations as the scalar path (float exp, double
+        // denominator, one float normalize multiply).
+        for (std::int64_t l = 0; l < lb; ++l) {
+          float mx = scores[l];
+          std::int64_t best = 0;
+          for (std::int64_t m = 1; m < p_; ++m) {
+            const float v = scores[m * lb + l];
+            if (v > mx) {
+              mx = v;
+              best = m;
+            }
+          }
+          hits[l] = best;
+          double denom = 0;
+          for (std::int64_t m = 0; m < p_; ++m) {
+            float& v = scores[m * lb + l];
+            v = std::exp((v - mx) / temperature_);
+            denom += v;
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (std::int64_t m = 0; m < p_; ++m) scores[m * lb + l] *= inv;
+        }
+        array.record_usage_block(hits, lb);
+        lut.weighted_accumulate_block(scores, lb, out_s + l0, len, *counter_);
       }
     }
-    // Same column-parallel Algorithm 1 loop as forward(). PECAN-D needs no
-    // lane scratch at all; PECAN-A carries a tiny per-lane score/weight
-    // vector (p floats — the arena is single-owner and stays on the
-    // submitting thread, so lanes use locals).
-    const std::int64_t column_cost = std::max<std::int64_t>(D * p_ * d_, 1);
-    const std::int64_t grain = std::max<std::int64_t>(1, (1 << 12) / column_cost);
+  };
+  const std::int64_t scores_size = mode_ == pq::MatchMode::Angle ? p_ * kCamTileMax : 0;
+
+  // Batch-wide im2col hoist: unfolding every sample up front lets the
+  // search loop parallelize over a flat (sample, tile) axis — a LeNet FC
+  // layer (len = 1) with a batch of 64 spreads across every lane instead of
+  // serializing on the per-sample unfold. The hoist costs n*rows*len arena
+  // floats which the context retains at its high-water mark, so it is
+  // capped; above the cap (large-len conv layers, which already expose
+  // plenty of tiles per sample) the unfold stays per-sample. Both paths
+  // compute bitwise-identical outputs.
+  constexpr std::int64_t kHoistFloatsCap = 1 << 22;  // 16 MB of scratch
+  if (n * rows * len <= kHoistFloatsCap) {
+    float* cols_all = ctx.arena.floats(n * rows * len);
     util::parallel_for(
-        0, len,
-        [&](std::int64_t l0, std::int64_t l1) {
-          std::vector<float> scores;
-          std::vector<float> weights;
-          if (mode_ == pq::MatchMode::Angle) {
-            scores.resize(static_cast<std::size_t>(p_));
-            weights.resize(static_cast<std::size_t>(p_));
+        0, n,
+        [&](std::int64_t s0, std::int64_t s1) {
+          for (std::int64_t s = s0; s < s1; ++s) {
+            nn::im2col(input.data() + s * cin_ * hin * win, g, cols_all + s * rows * len);
           }
-          for (std::int64_t l = l0; l < l1; ++l) {
-            for (std::int64_t j = 0; j < D; ++j) {
-              const float* query = cols + j * d_ * len + l;
-              if (mode_ == pq::MatchMode::Distance) {
-                const std::int64_t hit =
-                    arrays_[static_cast<std::size_t>(j)].search(query, len, *counter_);
-                luts_[static_cast<std::size_t>(j)].accumulate(hit, out_s + l, len, *counter_);
-              } else {
-                arrays_[static_cast<std::size_t>(j)].similarity_scores(query, len, scores.data(),
-                                                                       *counter_);
-                float mx = scores[0];
-                std::int64_t best = 0;
-                for (std::int64_t m = 1; m < p_; ++m) {
-                  if (scores[static_cast<std::size_t>(m)] > mx) {
-                    mx = scores[static_cast<std::size_t>(m)];
-                    best = m;
-                  }
-                }
-                arrays_[static_cast<std::size_t>(j)].record_usage(best);
-                double denom = 0;
-                for (std::int64_t m = 0; m < p_; ++m) {
-                  weights[static_cast<std::size_t>(m)] =
-                      std::exp((scores[static_cast<std::size_t>(m)] - mx) / temperature_);
-                  denom += weights[static_cast<std::size_t>(m)];
-                }
-                const float inv = static_cast<float>(1.0 / denom);
-                for (std::int64_t m = 0; m < p_; ++m) weights[static_cast<std::size_t>(m)] *= inv;
-                luts_[static_cast<std::size_t>(j)].weighted_accumulate(weights.data(), out_s + l,
-                                                                       len, *counter_);
-              }
-            }
+        },
+        1);
+    util::parallel_for(
+        0, n * ntiles,
+        [&](std::int64_t w0, std::int64_t w1) {
+          std::vector<float> qtile(static_cast<std::size_t>(d_ * kCamTileMax));
+          std::vector<float> scores(static_cast<std::size_t>(scores_size));
+          std::int64_t hits[kCamTileMax];
+          for (std::int64_t w = w0; w < w1; ++w) {
+            const std::int64_t s = w / ntiles;
+            const std::int64_t l0 = (w % ntiles) * kCamTileMax;
+            const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+            tile_body(cols_all + s * rows * len, output.data() + s * cout_ * len, l0, lb,
+                      qtile.data(), hits, scores.data());
           }
         },
         grain);
+  } else {
+    float* cols = ctx.arena.floats(rows * len);
+    for (std::int64_t s = 0; s < n; ++s) {
+      nn::im2col(input.data() + s * cin_ * hin * win, g, cols);
+      float* out_s = output.data() + s * cout_ * len;
+      util::parallel_for(
+          0, ntiles,
+          [&](std::int64_t t0, std::int64_t t1) {
+            std::vector<float> qtile(static_cast<std::size_t>(d_ * kCamTileMax));
+            std::vector<float> scores(static_cast<std::size_t>(scores_size));
+            std::int64_t hits[kCamTileMax];
+            for (std::int64_t t = t0; t < t1; ++t) {
+              const std::int64_t l0 = t * kCamTileMax;
+              const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+              tile_body(cols, out_s, l0, lb, qtile.data(), hits, scores.data());
+            }
+          },
+          grain);
+    }
   }
   return output;
 }

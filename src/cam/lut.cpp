@@ -1,7 +1,10 @@
 #include "cam/lut.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
+
+#include "cam/cam_array.hpp"  // kCamTileMax
 
 namespace pecan::cam {
 
@@ -20,6 +23,21 @@ void LutMemory::accumulate(std::int64_t k, float* out, std::int64_t out_stride,
   counter.lut_reads.fetch_add(1, std::memory_order_relaxed);
 }
 
+void LutMemory::accumulate_block(const std::int64_t* hits, std::int64_t lb, float* out,
+                                 std::int64_t out_stride, OpCounter& counter) const {
+  if (lb <= 0) return;
+  for (std::int64_t l = 0; l < lb; ++l) {
+    if (hits[l] < 0 || hits[l] >= p_) throw std::out_of_range("LutMemory: entry out of range");
+  }
+  for (std::int64_t c = 0; c < cout_; ++c) {
+    const float* row = table_.data() + c * p_;
+    float* o = out + c * out_stride;
+    for (std::int64_t l = 0; l < lb; ++l) o[l] += row[hits[l]];
+  }
+  counter.adds.fetch_add(static_cast<std::uint64_t>(cout_ * lb), std::memory_order_relaxed);
+  counter.lut_reads.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
+}
+
 void LutMemory::weighted_accumulate(const float* weights, float* out, std::int64_t out_stride,
                                     OpCounter& counter) const {
   for (std::int64_t c = 0; c < cout_; ++c) {
@@ -31,6 +49,30 @@ void LutMemory::weighted_accumulate(const float* weights, float* out, std::int64
   counter.adds.fetch_add(static_cast<std::uint64_t>(cout_ * p_), std::memory_order_relaxed);
   counter.muls.fetch_add(static_cast<std::uint64_t>(cout_ * p_), std::memory_order_relaxed);
   counter.lut_reads.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LutMemory::weighted_accumulate_block(const float* weights, std::int64_t lb, float* out,
+                                          std::int64_t out_stride, OpCounter& counter) const {
+  if (lb <= 0) return;
+  if (lb > kCamTileMax) throw std::invalid_argument("LutMemory: tile larger than kCamTileMax");
+  // A [cout, lb] += [cout, p] x [p, lb] micro-product: the table row and the
+  // weight rows stream unit-stride, and the register/stack accumulator keeps
+  // the per-element m-order serial (bitwise contract).
+  float acc[kCamTileMax];
+  for (std::int64_t c = 0; c < cout_; ++c) {
+    const float* row = table_.data() + c * p_;
+    std::fill(acc, acc + lb, 0.f);
+    for (std::int64_t m = 0; m < p_; ++m) {
+      const float t = row[m];
+      const float* wrow = weights + m * lb;
+      for (std::int64_t l = 0; l < lb; ++l) acc[l] += wrow[l] * t;
+    }
+    float* o = out + c * out_stride;
+    for (std::int64_t l = 0; l < lb; ++l) o[l] += acc[l];
+  }
+  counter.adds.fetch_add(static_cast<std::uint64_t>(cout_ * p_ * lb), std::memory_order_relaxed);
+  counter.muls.fetch_add(static_cast<std::uint64_t>(cout_ * p_ * lb), std::memory_order_relaxed);
+  counter.lut_reads.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
 }
 
 void LutMemory::keep_entries(const std::vector<std::int64_t>& kept) {

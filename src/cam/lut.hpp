@@ -27,10 +27,26 @@ class LutMemory {
   /// PECAN-D accumulate: out[c] += table[c, k] for all c (cout adds).
   void accumulate(std::int64_t k, float* out, std::int64_t out_stride, OpCounter& counter) const;
 
+  /// Blocked PECAN-D accumulate for a tile of lb <= kCamTileMax searches:
+  /// out[c * out_stride + l] += table[c, hits[l]]. Sweeps the table row by
+  /// row so each row is read once per tile (instead of once per search) and
+  /// issues one atomic aggregate per call. Bitwise-equal to lb scalar
+  /// accumulate() calls.
+  void accumulate_block(const std::int64_t* hits, std::int64_t lb, float* out,
+                        std::int64_t out_stride, OpCounter& counter) const;
+
   /// PECAN-A weighted accumulate: out[c] += sum_m weights[m] * table[c, m]
   /// (p*cout muls + p*cout adds).
   void weighted_accumulate(const float* weights, float* out, std::int64_t out_stride,
                            OpCounter& counter) const;
+
+  /// Blocked PECAN-A accumulate: weights is [p, lb] (weights[m * lb + l] is
+  /// the softmax weight of prototype m for query l); adds table * weights
+  /// into the [cout, lb] output tile. Per output element the m-summation
+  /// order matches weighted_accumulate, so results are bitwise-equal to lb
+  /// scalar calls on the weight columns.
+  void weighted_accumulate_block(const float* weights, std::int64_t lb, float* out,
+                                 std::int64_t out_stride, OpCounter& counter) const;
 
   /// Keeps only the listed columns (paired with CamArray::prune_unused).
   void keep_entries(const std::vector<std::int64_t>& kept);

@@ -84,6 +84,9 @@ void PecanConv2d::match_group(std::int64_t j, const float* cols, std::int64_t le
     // prototypes: each lane writes a disjoint row block of k_out. These
     // inner loops only spread when the group loop above runs serial
     // (few-group layers); under the parallel group loop they run inline.
+    // The component loop is the middle axis so the innermost loop runs
+    // unit-stride over the columns of X (the l-inner order sums the same
+    // i-ascending chain per element, so results are unchanged bitwise).
     const std::int64_t scan_grain = std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(len * d_, 1));
     util::parallel_for(
         0, p_,
@@ -91,11 +94,13 @@ void PecanConv2d::match_group(std::int64_t j, const float* cols, std::int64_t le
           for (std::int64_t m = m0; m < m1; ++m) {
             const float* proto = codebook_.prototype(j, m);
             float* row = k_out + m * len;
-            for (std::int64_t l = 0; l < len; ++l) {
-              float acc = 0.f;
-              for (std::int64_t i = 0; i < d_; ++i) acc += std::fabs(xj[i * len + l] - proto[i]);
-              row[l] = -acc;
+            std::fill(row, row + len, 0.f);
+            for (std::int64_t i = 0; i < d_; ++i) {
+              const float pi = proto[i];
+              const float* xrow = xj + i * len;
+              for (std::int64_t l = 0; l < len; ++l) row[l] += std::fabs(xrow[l] - pi);
             }
+            for (std::int64_t l = 0; l < len; ++l) row[l] = -row[l];
           }
         },
         scan_grain);

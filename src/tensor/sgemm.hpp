@@ -2,8 +2,15 @@
 // Linear, and the PECAN-A attention scores.
 //
 // Row-major. C[M,N] = alpha * op(A)[M,K] * op(B)[K,N] + beta * C[M,N].
-// Blocked i-k-j loop with OpenMP over row blocks when available — enough
-// to train the paper's CIFAR-scale models on CPU in reasonable time.
+// Register-blocked micro-kernel (6x16 tile with 256-bit SIMD, 4x8 on
+// baseline ISAs) with thread_local panel packing, parallel over row blocks
+// of C.
+//
+// Determinism contract: every C element is produced by exactly one lane as
+//   beta-scaled C  +  (sum over k, ascending, of (alpha*a)*b accumulated in
+//   a single float register)
+// so results are bitwise-identical at any thread count AND bitwise-equal to
+// the serial sgemm_reference below — the equivalence tests assert both.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,13 @@ namespace pecan {
 void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
            float alpha, const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
            float beta, float* c, std::int64_t ldc);
+
+/// Serial naive triple loop implementing the exact accumulation semantics
+/// the blocked kernel must reproduce bitwise (the spec, and the "before"
+/// side of bench_kernels). Not a fast path — tests and benches only.
+void sgemm_reference(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n, std::int64_t k,
+                     float alpha, const float* a, std::int64_t lda, const float* b,
+                     std::int64_t ldb, float beta, float* c, std::int64_t ldc);
 
 /// Convenience: C = A * B for contiguous row-major matrices.
 void matmul(const float* a, const float* b, float* c, std::int64_t m, std::int64_t n,
