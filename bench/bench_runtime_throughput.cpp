@@ -11,6 +11,13 @@
 //     simultaneously — images/sec and scaling vs one client. Before the
 //     stateless infer() path this was flat (every forward serialized on a
 //     single engine mutex); now each client leases its own InferContext.
+//   * multi-model server sweep: ONE runtime::Server serving LeNet5-D
+//     (float) and LeNet5-A (CAM) concurrently — per-model images/sec and
+//     latency with 1/2/4 clients per model, plus a reject-mode overload row
+//     that reports shed counts.
+//
+// --json <path> writes every row (img/s, p50/p99 ms, shed counts) as a
+// machine-readable file; CI uploads it next to BENCH_kernels.json.
 //
 // Weights are randomly initialized — arithmetic cost is shape-determined,
 // so trained weights would time identically. Defaults are sized for a CI
@@ -18,8 +25,10 @@
 // for stable numbers. The speedup column only shows hardware parallelism
 // when the machine has it (flagged when hardware_concurrency < --threads).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
@@ -28,6 +37,7 @@
 #include "models/lenet.hpp"
 #include "models/vgg_small.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/server.hpp"
 #include "tensor/rng.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
@@ -36,6 +46,43 @@
 namespace {
 
 using namespace pecan;
+
+/// One machine-readable result row for --json. Fields < 0 are omitted.
+struct JsonRow {
+  std::string name;  ///< e.g. "lenet5-D/float/serve" or "server/c4/lenet5-A"
+  double img_per_s = -1;
+  double speedup = -1;
+  double p50_ms = -1;
+  double p99_ms = -1;
+  double avg_batch = -1;
+  long long shed = -1;  ///< admission-control sheds (-1 = not applicable)
+};
+
+std::vector<JsonRow> g_json_rows;
+
+void write_json(const std::string& path, int threads) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_runtime_throughput: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"runtime_throughput\",\n  \"threads\": %d,\n", threads);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < g_json_rows.size(); ++i) {
+    const JsonRow& r = g_json_rows[i];
+    std::fprintf(f, "    {\"name\": \"%s\"", r.name.c_str());
+    if (r.img_per_s >= 0) std::fprintf(f, ", \"img_per_s\": %.4g", r.img_per_s);
+    if (r.speedup >= 0) std::fprintf(f, ", \"speedup\": %.3g", r.speedup);
+    if (r.p50_ms >= 0) std::fprintf(f, ", \"p50_ms\": %.4g", r.p50_ms);
+    if (r.p99_ms >= 0) std::fprintf(f, ", \"p99_ms\": %.4g", r.p99_ms);
+    if (r.avg_batch >= 0) std::fprintf(f, ", \"avg_batch\": %.3g", r.avg_batch);
+    if (r.shed >= 0) std::fprintf(f, ", \"shed\": %lld", r.shed);
+    std::fprintf(f, "}%s\n", i + 1 < g_json_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
 
 struct ModelSpec {
   const char* name;
@@ -131,6 +178,24 @@ void run_spec(const ModelSpec& spec, runtime::ExecPath path, int threads, std::i
               base_ips, thr_ips, thr_ips / base_ips, percentile(latencies_ms, 0.50),
               percentile(latencies_ms, 0.99), avg_batch);
   std::fflush(stdout);
+
+  const std::string prefix = std::string(spec.name) + "/" + path_name;
+  JsonRow base_row;
+  base_row.name = prefix + "/base";
+  base_row.img_per_s = base_ips;
+  g_json_rows.push_back(base_row);
+  JsonRow thr_row;
+  thr_row.name = prefix + "/batched";
+  thr_row.img_per_s = thr_ips;
+  thr_row.speedup = thr_ips / base_ips;
+  g_json_rows.push_back(thr_row);
+  JsonRow serve_row;
+  serve_row.name = prefix + "/serve";
+  serve_row.p50_ms = percentile(latencies_ms, 0.50);
+  serve_row.p99_ms = percentile(latencies_ms, 0.99);
+  serve_row.avg_batch = avg_batch;
+  serve_row.shed = 0;  // unbounded queue: the request stream never sheds
+  g_json_rows.push_back(serve_row);
 }
 
 /// Concurrent-clients sweep: `clients` threads each push `rounds` batches
@@ -164,7 +229,141 @@ void run_concurrent_sweep(const ModelSpec& spec, runtime::ExecPath path, std::in
                 ips, ips / one_client_ips, stats.p50_ms, stats.p99_ms,
                 static_cast<long long>(stats.peak_in_flight));
     std::fflush(stdout);
+
+    JsonRow row;
+    row.name = std::string(spec.name) + "/" + path_name + "/clients" + std::to_string(clients);
+    row.img_per_s = ips;
+    row.speedup = ips / one_client_ips;
+    row.p50_ms = stats.p50_ms;
+    row.p99_ms = stats.p99_ms;
+    g_json_rows.push_back(row);
   }
+}
+
+/// Multi-model server sweep: ONE Server serving LeNet5-D (float path) and
+/// LeNet5-A (CAM path) at once, each hammered by its own client threads via
+/// submit(). Reports per-model aggregate images/sec and the engines' own
+/// p50/p99, then overloads a reject-mode redeploy to show admission-control
+/// shedding (the queue-depth/shed stats surface in action).
+void run_server_sweep(std::int64_t requests_per_client, std::int64_t max_batch) {
+  Rng data_rng(5150);
+  const Tensor samples = data_rng.randn({8, 1, 28, 28});
+  const std::int64_t sample_numel = 28 * 28;
+  const auto nth = [&](std::int64_t s) {
+    Tensor sample({1, 28, 28});
+    std::copy(samples.data() + (s % 8) * sample_numel, samples.data() + (s % 8 + 1) * sample_numel,
+              sample.data());
+    return sample;
+  };
+  const auto build_lenet = [](models::Variant variant) {
+    Rng rng(99);
+    return models::make_lenet5(variant, rng);
+  };
+
+  runtime::EngineConfig config;
+  config.max_batch = max_batch;
+  config.batch_wait = std::chrono::microseconds(200);
+  runtime::EngineConfig cam_config = config;
+  cam_config.path = runtime::ExecPath::Cam;
+
+  std::printf("\nmulti-model server sweep (2 models, submit() streams, %lld req/client):\n",
+              static_cast<long long>(requests_per_client));
+  std::printf("%-10s %-6s %7s %10s %9s %9s %6s\n", "model", "path", "clients", "img/s", "p50 ms",
+              "p99 ms", "shed");
+
+  const char* names[2] = {"lenet5-D", "lenet5-A"};
+  const char* paths[2] = {"float", "cam"};
+  for (const int clients_per_model : {1, 2, 4}) {
+    // Fresh server per phase: engine stats and latency windows start clean,
+    // so each row's p50/p99 covers only its own client count.
+    runtime::Server server;
+    server.deploy("lenet5-D", build_lenet(models::Variant::PecanD), config);
+    server.deploy("lenet5-A", build_lenet(models::Variant::PecanA), cam_config);
+
+    // Per-model elapsed = when ITS last client finishes (the two models
+    // run concurrently but at very different speeds; a shared join window
+    // would understate the faster one).
+    std::vector<double> finish(static_cast<std::size_t>(2 * clients_per_model), 0.0);
+    util::Timer timer;
+    std::vector<std::thread> threads;
+    for (int m = 0; m < 2; ++m) {
+      for (int c = 0; c < clients_per_model; ++c) {
+        threads.emplace_back([&, m, c] {
+          std::vector<std::future<Tensor>> futures;
+          futures.reserve(static_cast<std::size_t>(requests_per_client));
+          for (std::int64_t r = 0; r < requests_per_client; ++r) {
+            futures.push_back(server.submit(names[m], nth(r)));
+          }
+          for (auto& future : futures) future.get();
+          finish[static_cast<std::size_t>(m * clients_per_model + c)] = timer.elapsed_s();
+        });
+      }
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (int m = 0; m < 2; ++m) {
+      double elapsed_m = 0.0;
+      for (int c = 0; c < clients_per_model; ++c) {
+        elapsed_m = std::max(elapsed_m,
+                             finish[static_cast<std::size_t>(m * clients_per_model + c)]);
+      }
+      const double ips =
+          static_cast<double>(clients_per_model * requests_per_client) / elapsed_m;
+      const runtime::ModelServerStats stats = server.stats(names[m]);
+      std::printf("%-10s %-6s %7d %10.2f %9.2f %9.2f %6llu\n", names[m], paths[m],
+                  clients_per_model, ips, stats.engine.p50_ms, stats.engine.p99_ms,
+                  static_cast<unsigned long long>(stats.shed_total));
+      std::fflush(stdout);
+      JsonRow row;
+      row.name = std::string("server/") + names[m] + "/clients" + std::to_string(clients_per_model);
+      row.img_per_s = ips;
+      row.p50_ms = stats.engine.p50_ms;
+      row.p99_ms = stats.engine.p99_ms;
+      row.shed = static_cast<long long>(stats.shed_total);
+      g_json_rows.push_back(row);
+    }
+  }
+
+  // Overload row: a reject-mode deploy with a tiny pending queue, bursted —
+  // the shed column is the point.
+  runtime::EngineConfig reject_config = config;
+  reject_config.max_batch = 1;
+  reject_config.max_pending = 2;
+  reject_config.backpressure = runtime::Backpressure::Reject;
+  runtime::Server server;
+  server.deploy("lenet5-D", build_lenet(models::Variant::PecanD), reject_config);
+
+  std::atomic<long long> accepted{0};
+  std::vector<std::thread> burst;
+  util::Timer timer;
+  for (int c = 0; c < 4; ++c) {
+    burst.emplace_back([&] {
+      std::vector<std::future<Tensor>> futures;
+      for (std::int64_t r = 0; r < requests_per_client; ++r) {
+        try {
+          futures.push_back(server.submit("lenet5-D", nth(r)));
+          accepted.fetch_add(1);
+        } catch (const runtime::OverloadedError&) {
+          // shed — counted by the server
+        }
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (std::thread& t : burst) t.join();
+  const double elapsed = timer.elapsed_s();
+  const runtime::ModelServerStats stats = server.stats("lenet5-D");
+  const double ips = static_cast<double>(accepted.load()) / elapsed;
+  std::printf("%-10s %-6s %7s %10.2f %9.2f %9.2f %6llu  (reject mode, max_pending=2)\n",
+              "lenet5-D", "float", "burst", ips, stats.engine.p50_ms, stats.engine.p99_ms,
+              static_cast<unsigned long long>(stats.shed_total));
+  JsonRow row;
+  row.name = "server/lenet5-D/overload-reject";
+  row.img_per_s = ips;
+  row.p50_ms = stats.engine.p50_ms;
+  row.p99_ms = stats.engine.p99_ms;
+  row.shed = static_cast<long long>(stats.shed_total);
+  g_json_rows.push_back(row);
 }
 
 }  // namespace
@@ -218,6 +417,13 @@ int main(int argc, char** argv) {
               "scaling", "p50 ms", "p99 ms", "peak");
   run_concurrent_sweep(lenet_d, runtime::ExecPath::Float, batch, rounds);
   run_concurrent_sweep(lenet_d, runtime::ExecPath::Cam, batch, rounds);
+
+  // Multi-model server: both models live in one process, kernels threaded.
+  util::set_global_threads(threads);
+  run_server_sweep(args.get_int("server-requests", 24), batch);
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) write_json(json_path, threads);
 
   for (const std::string& key : args.unused()) {
     std::fprintf(stderr, "warning: unused argument --%s\n", key.c_str());

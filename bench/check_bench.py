@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Bench-regression smoke gate.
+
+Compares a fresh ``bench_kernels --smoke --json`` run against the checked-in
+reference (BENCH_kernels.json) and fails only on a gross regression: a kernel
+whose measured speedup (blocked vs in-TU scalar reference) fell below
+``--min-ratio`` (default 0.5) of its recorded speedup. Speedup RATIOS are the
+right thing to gate in CI — absolute rates vary wildly across runner
+hardware, but scalar and blocked kernels run on the SAME machine in the same
+process, so their ratio is stable up to noise. The tolerance is deliberately
+generous: this is a "did someone accidentally deoptimize a kernel" tripwire,
+not a performance-tracking dashboard. In particular the checked-in reference
+is a FULL run (len=4096, long timing windows) while CI measures in --smoke
+mode (len=512, short windows): problem-size and noise effects legitimately
+shift ratios by tens of percent in either direction, which is why the gate
+only fires at 0.5x (measured smoke-vs-full drift on a native build stays
+within 0.7-1.5x).
+
+Kernels present in the reference but missing from the current run fail the
+gate too (coverage loss is a regression); kernels without a recorded speedup
+(pure-rate rows like im2col and the end-to-end img/s rows) are reported but
+never gated.
+
+Usage:
+  check_bench.py --current build/BENCH_kernels.json \
+                 --reference BENCH_kernels.json [--min-ratio 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    return {row["name"]: row for row in data.get("results", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, help="freshly measured JSON")
+    parser.add_argument("--reference", required=True, help="checked-in reference JSON")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.5,
+        help="fail when current speedup < min-ratio * reference speedup (default 0.5)",
+    )
+    args = parser.parse_args()
+
+    current = load_results(args.current)
+    reference = load_results(args.reference)
+
+    failures = []
+    print(f"{'kernel':<28} {'ref speedup':>12} {'cur speedup':>12} {'ratio':>7}  verdict")
+    for name, ref_row in reference.items():
+        ref_speedup = ref_row.get("speedup")
+        if ref_speedup is None:
+            status = "-" if name in current else "missing (not gated)"
+            print(f"{name:<28} {'-':>12} {'-':>12} {'-':>7}  {status}")
+            continue
+        cur_row = current.get(name)
+        if cur_row is None or cur_row.get("speedup") is None:
+            failures.append(f"{name}: present in reference but missing from current run")
+            print(f"{name:<28} {ref_speedup:>12.2f} {'MISSING':>12} {'-':>7}  FAIL")
+            continue
+        cur_speedup = cur_row["speedup"]
+        ratio = cur_speedup / ref_speedup
+        ok = ratio >= args.min_ratio
+        print(f"{name:<28} {ref_speedup:>12.2f} {cur_speedup:>12.2f} {ratio:>6.2f}x  "
+              f"{'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(
+                f"{name}: speedup {cur_speedup:.2f} < {args.min_ratio} x recorded "
+                f"{ref_speedup:.2f} (ratio {ratio:.2f})"
+            )
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench regression gate passed ({args.min_ratio}x tolerance).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,9 +27,12 @@ void flatten(const nn::Module& module, std::vector<const nn::Module*>& plan,
 }  // namespace
 
 Engine::Engine(std::unique_ptr<nn::Sequential> net, EngineConfig config)
-    : net_(std::move(net)), config_(config) {
+    : net_(std::move(net)),
+      config_(config),
+      queue_(config.max_pending > 0 ? static_cast<std::size_t>(config.max_pending) : 0) {
   if (!net_) throw std::invalid_argument("Engine: null network");
   if (config_.max_batch < 1) throw std::invalid_argument("Engine: max_batch must be >= 1");
+  if (config_.max_pending < 0) throw std::invalid_argument("Engine: max_pending must be >= 0");
   net_->set_training(false);
   if (config_.path == ExecPath::Cam) export_ = cam::convert_to_cam(*net_);
   compile();
@@ -148,50 +151,54 @@ std::future<Tensor> Engine::submit(Tensor sample) {
                                 shape_str(config_.input_shape) + " sample, got " +
                                 shape_str(sample.shape()));
   }
-  std::future<Tensor> future;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stopping_) throw std::runtime_error("Engine::submit: engine is shut down");
-    Pending pending;
-    pending.sample = std::move(sample);
-    future = pending.promise.get_future();
-    queue_.push_back(std::move(pending));
+    // stopping_ check + batcher start are atomic: shutdown() sets stopping_
+    // and claims the thread handle under the same mutex, so it can never
+    // miss a batcher started here.
+    std::lock_guard<std::mutex> lock(batcher_mutex_);
+    if (stopping_) throw EngineStoppedError("Engine::submit: engine is shut down");
     ensure_batcher();
+  }
+  Pending pending;
+  pending.sample = std::move(sample);
+  std::future<Tensor> future = pending.promise.get_future();
+  const util::PushResult pushed = config_.backpressure == Backpressure::Reject
+                                      ? queue_.try_push(pending)
+                                      : queue_.push(pending);
+  if (pushed == util::PushResult::Full) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.shed;
+    throw OverloadedError("Engine::submit: pending queue full (max_pending=" +
+                          std::to_string(config_.max_pending) + "), request shed");
+  }
+  if (pushed == util::PushResult::Closed) {
+    // Shutdown raced us between the stopping_ check and the push. The
+    // pending request was never queued, so nothing is lost; the local
+    // promise/future pair dies unobserved.
+    throw EngineStoppedError("Engine::submit: engine is shut down");
   }
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.requests;
   }
-  queue_cv_.notify_all();
   return future;
 }
 
 void Engine::batcher_loop() {
+  std::vector<Pending> batch;
   for (;;) {
-    std::vector<Pending> batch;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-
-      // Micro-batching: wait briefly for stragglers unless the batch is
-      // already full or the engine is stopping.
-      if (!stopping_ && static_cast<std::int64_t>(queue_.size()) < config_.max_batch) {
-        queue_cv_.wait_for(lock, config_.batch_wait, [this] {
-          return stopping_ || static_cast<std::int64_t>(queue_.size()) >= config_.max_batch;
+    batch.clear();
+    // Block for the first sample, wait batch_wait for stragglers, then
+    // coalesce the longest same-shape prefix (samples of a different shape
+    // stay queued for the next batch). Returns 0 only when the queue is
+    // closed AND drained, so every accepted request is executed.
+    const std::size_t popped = queue_.pop_batch(
+        batch, static_cast<std::size_t>(config_.max_batch), config_.batch_wait,
+        static_cast<std::size_t>(config_.max_batch),
+        [](const Pending& first, const Pending& candidate) {
+          return first.sample.shape() == candidate.sample.shape();
         });
-      }
-
-      // Coalesce the longest same-shape prefix (samples of a different
-      // shape stay queued for the next batch). Copy the shape: the front
-      // element is moved out below.
-      const Shape first_shape = queue_.front().sample.shape();
-      while (!queue_.empty() && static_cast<std::int64_t>(batch.size()) < config_.max_batch &&
-             queue_.front().sample.shape() == first_shape) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-    }
+    if (popped == 0) return;
     execute_pending(batch);
   }
 }
@@ -240,28 +247,26 @@ void Engine::shutdown() {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
   std::thread batcher;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<std::mutex> lock(batcher_mutex_);
     stopping_ = true;
-    // Claim the thread handle under queue_mutex_ so a concurrent submit()'s
+    // Claim the thread handle under batcher_mutex_ so a concurrent submit()'s
     // ensure_batcher() can never race the join: it either started the
     // batcher before this point (we join it) or observes stopping_ and
     // throws without starting one.
     batcher = std::move(batcher_);
     batcher_running_ = false;
   }
-  queue_cv_.notify_all();
+  // Close wakes blocked producers (Backpressure::Block) with Closed and lets
+  // the batcher drain what was already accepted before it exits.
+  queue_.close();
   if (batcher.joinable()) batcher.join();
-  // The batcher drains the queue before exiting, so this is normally empty;
-  // answer any leftovers cleanly rather than letting promises break when
-  // the deque is destroyed.
-  std::deque<Pending> leftover;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    leftover.swap(queue_);
-  }
-  for (Pending& pending : leftover) {
+  // The batcher drains the queue before exiting, so this is normally empty
+  // (only a submit that pushed after stopping_ but before close() — and was
+  // never followed by a batcher — can leave items). Answer any leftovers
+  // cleanly rather than letting promises break when the queue is destroyed.
+  for (Pending& pending : queue_.drain()) {
     pending.promise.set_exception(
-        std::make_exception_ptr(std::runtime_error("Engine::submit: engine is shut down")));
+        std::make_exception_ptr(EngineStoppedError("Engine::submit: engine is shut down")));
   }
 }
 
@@ -280,6 +285,7 @@ void Engine::record_latency(double ms) {
 EngineStats Engine::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   EngineStats snapshot = stats_;
+  snapshot.queue_depth = static_cast<std::int64_t>(queue_.size());
   if (!latency_window_.empty()) {
     std::vector<double> sorted = latency_window_;
     std::sort(sorted.begin(), sorted.end());

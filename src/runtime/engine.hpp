@@ -9,7 +9,11 @@
 //   * submit(): single-sample requests that a background batcher thread
 //     coalesces into micro-batches (up to max_batch, waiting at most
 //     batch_wait for stragglers) and answers through futures — the classic
-//     serving-side latency/throughput trade.
+//     serving-side latency/throughput trade. The pending queue is a
+//     util::BoundedQueue: with max_pending set, a full queue either blocks
+//     the submitter (Backpressure::Block) or sheds the request with
+//     OverloadedError (Backpressure::Reject) — the admission-control knob
+//     the multi-model runtime::Server exposes per model.
 //
 // Concurrency model: the network is immutable after compile() and every
 // forward executes through the stateless Module::infer path, with all
@@ -33,12 +37,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,12 +49,34 @@
 #include "cam/convert.hpp"
 #include "nn/module.hpp"
 #include "runtime/model_artifact.hpp"
+#include "util/bounded_queue.hpp"
 
 namespace pecan::runtime {
 
 enum class ExecPath {
   Float,  ///< trained float network (PQ matching or baseline layers)
   Cam     ///< CAM + LUT export (PECAN variants only)
+};
+
+/// What submit() does when the pending queue is at max_pending.
+enum class Backpressure {
+  Block,  ///< wait for a slot — backpressure propagates to the caller
+  Reject  ///< shed immediately with OverloadedError
+};
+
+/// Thrown by submit() in Backpressure::Reject mode when the pending queue is
+/// full. Distinct from validation errors (std::invalid_argument) and from
+/// shutdown (EngineStoppedError) so clients and the Server can tell "try
+/// again later" apart from "this request is malformed" and "this engine is
+/// gone".
+struct OverloadedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by submit() once the engine is shut down. Subclasses
+/// std::runtime_error, so pre-existing catch sites keep working.
+struct EngineStoppedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 struct EngineConfig {
@@ -63,6 +88,10 @@ struct EngineConfig {
   /// instead of failing later inside a layer on the batcher thread.
   /// Engine::from_artifact fills this from the artifact.
   Shape input_shape{};
+  /// Admission control: cap on samples queued-but-not-yet-executing.
+  /// 0 = unbounded (no admission control).
+  std::int64_t max_pending = 0;
+  Backpressure backpressure = Backpressure::Block;
 };
 
 struct EngineStats {
@@ -70,6 +99,8 @@ struct EngineStats {
   std::uint64_t batches = 0;          ///< micro-batches executed
   std::uint64_t batched_samples = 0;  ///< samples served through micro-batches
   std::uint64_t direct_batches = 0;   ///< forward_batch() calls
+  std::uint64_t shed = 0;             ///< submits rejected by admission control
+  std::int64_t queue_depth = 0;       ///< samples pending at snapshot time
   std::int64_t in_flight = 0;         ///< forwards executing at snapshot time
   std::int64_t peak_in_flight = 0;    ///< max concurrent forwards observed
   std::int64_t contexts = 0;          ///< InferContexts materialized (= peak concurrency)
@@ -99,12 +130,17 @@ class Engine {
   /// Enqueues one sample ([C,H,W], non-empty) for micro-batched execution;
   /// the future yields its logits row ([classes]) or rethrows the execution
   /// error. The batcher thread starts lazily on first use.
+  ///
+  /// Admission control: with max_pending > 0 the pending queue is bounded —
+  /// a full queue makes submit() wait for a slot (Backpressure::Block) or
+  /// throw OverloadedError without queuing (Backpressure::Reject). Every
+  /// accepted sample is always answered, even across shutdown.
   std::future<Tensor> submit(Tensor sample);
 
   /// Drains pending requests, answers them, and stops the batcher thread.
   /// Idempotent and safe to race with submit(): a concurrent submit()
   /// either gets a future that is served/failed cleanly or throws
-  /// std::runtime_error — it never observes a broken promise. Subsequent
+  /// EngineStoppedError — it never observes a broken promise. Subsequent
   /// submit() calls throw; forward_batch keeps working.
   void shutdown();
 
@@ -161,9 +197,14 @@ class Engine {
   std::vector<std::unique_ptr<nn::InferContext>> contexts_;
   std::vector<nn::InferContext*> free_contexts_;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
+  // Bounded pending queue (admission control) + the batcher that consumes
+  // it. batcher_mutex_ guards the thread handle and stopping_; the queue has
+  // its own internal lock. Shutdown ordering: set stopping_ and claim the
+  // handle under batcher_mutex_ (so a racing submit() either started the
+  // batcher before — we join it — or observes stopping_ and throws), then
+  // close the queue, join, and answer any leftovers.
+  util::BoundedQueue<Pending> queue_;
+  std::mutex batcher_mutex_;
   std::thread batcher_;
   bool batcher_running_ = false;
   bool stopping_ = false;

@@ -1,0 +1,82 @@
+#include "runtime/model_registry.hpp"
+
+namespace pecan::runtime {
+
+std::shared_ptr<Engine> ModelRegistry::acquire(const std::string& name) const {
+  std::shared_ptr<Engine> engine = try_acquire(name);
+  if (!engine) {
+    throw UnknownModelError("ModelRegistry: no model '" + name + "' is deployed");
+  }
+  return engine;
+}
+
+ModelRegistry::Lease ModelRegistry::acquire_with_generation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    throw UnknownModelError("ModelRegistry: no model '" + name + "' is deployed");
+  }
+  return {it->second.engine, it->second.generation};
+}
+
+std::shared_ptr<Engine> ModelRegistry::try_acquire(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  return it == slots_.end() ? nullptr : it->second.engine;
+}
+
+ModelRegistry::InstallResult ModelRegistry::install(const std::string& name,
+                                                    std::shared_ptr<Engine> engine) {
+  if (!engine) throw std::invalid_argument("ModelRegistry::install: null engine");
+  InstallResult result;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slots_[name];
+  result.retired = std::move(slot.engine);
+  slot.engine = std::move(engine);
+  result.generation = ++slot.generation;
+  return result;
+}
+
+std::shared_ptr<Engine> ModelRegistry::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) return nullptr;
+  std::shared_ptr<Engine> engine = std::move(it->second.engine);
+  slots_.erase(it);
+  return engine;
+}
+
+std::vector<std::shared_ptr<Engine>> ModelRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Engine>> engines;
+  engines.reserve(slots_.size());
+  for (auto& [name, slot] : slots_) engines.push_back(std::move(slot.engine));
+  slots_.clear();
+  return engines;
+}
+
+std::uint64_t ModelRegistry::generation(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(name);
+  return it == slots_.end() ? 0 : it->second.generation;
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.count(name) != 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+}  // namespace pecan::runtime

@@ -1,0 +1,89 @@
+// ModelRegistry — named, hot-swappable engine slots.
+//
+// The registry is the ownership layer of the multi-model server: it maps a
+// model name to the shared_ptr<Engine> currently serving that name plus a
+// monotonically increasing generation number. The shared_ptr IS the lease:
+// acquire() hands a caller a reference that keeps the engine alive for the
+// duration of its request, install() swaps the slot atomically, and the
+// retired engine is destroyed (draining its pending queue and joining its
+// batcher) only when the last outstanding lease drops — never underneath an
+// in-flight forward.
+//
+// All registry operations are O(log models) under one mutex and never touch
+// an engine while holding it; in particular install() RETURNS the retired
+// engine instead of dropping it, so the potentially slow drain runs on the
+// deployer's thread with the registry unlocked and lookups never stall
+// behind a swap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace pecan::runtime {
+
+/// Thrown when routing to a model name that is not (or no longer) deployed.
+struct UnknownModelError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+class ModelRegistry {
+ public:
+  struct InstallResult {
+    std::uint64_t generation = 0;      ///< generation now serving the name
+    std::shared_ptr<Engine> retired;   ///< previous engine (null on first deploy)
+  };
+
+  struct Lease {
+    std::shared_ptr<Engine> engine;
+    std::uint64_t generation = 0;
+  };
+
+  /// Leases the engine currently serving `name`. Throws UnknownModelError
+  /// when the name is not deployed.
+  std::shared_ptr<Engine> acquire(const std::string& name) const;
+
+  /// Like acquire(), but also returns the generation of the leased engine,
+  /// read under the same lock — a concurrent hot-swap can never make the
+  /// pair disagree (acquire() + generation() as two calls could).
+  Lease acquire_with_generation(const std::string& name) const;
+
+  /// Like acquire(), but returns null instead of throwing.
+  std::shared_ptr<Engine> try_acquire(const std::string& name) const;
+
+  /// Atomically points `name` at `engine` (first deploy or hot-swap) and
+  /// bumps the slot's generation. The caller receives the retired engine so
+  /// its teardown happens outside the registry lock.
+  InstallResult install(const std::string& name, std::shared_ptr<Engine> engine);
+
+  /// Removes the slot and returns the engine it held (null when the name was
+  /// not deployed). Outstanding leases keep the engine alive.
+  std::shared_ptr<Engine> erase(const std::string& name);
+
+  /// Removes every slot, returning the engines for out-of-lock teardown.
+  std::vector<std::shared_ptr<Engine>> clear();
+
+  /// Generation currently serving `name`; 0 when not deployed (the first
+  /// install produces generation 1).
+  std::uint64_t generation(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;  ///< sorted
+  std::size_t size() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<Engine> engine;
+    std::uint64_t generation = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace pecan::runtime

@@ -1,0 +1,123 @@
+// runtime::Server — the multi-model serving front door.
+//
+// One Server owns a ModelRegistry of named engines and routes requests to
+// them: submit(model, sample) for micro-batched single samples and
+// forward_batch(model, batch) for synchronous batches. On top of the
+// per-engine guarantees (bitwise-deterministic stateless forwards, bounded
+// pending queue) it adds the three things a production process needs:
+//
+//   * Deployment. deploy(name, ...) compiles a network or artifact into an
+//     Engine off the serving path — no registry lock is held while weights
+//     load, CAM exports build, or plans flatten — and only then swaps it in.
+//     A deploy that throws (corrupt artifact, PQ drift, bad config) leaves
+//     the registry untouched: the old engine keeps serving and the error
+//     surfaces to the deployer alone.
+//
+//   * Atomic hot-swap. The registry slot holds a shared_ptr<Engine>; every
+//     request leases it for exactly one forward. After a swap, new requests
+//     route to the new engine while in-flight requests drain on the old one,
+//     which is destroyed (pending queue drained, batcher joined) only when
+//     the last lease drops. A single reply therefore never mixes weights
+//     from two generations, and no accepted request is lost across a swap.
+//
+//   * Admission control. Each engine bounds its pending queue
+//     (EngineConfig::max_pending); Backpressure::Block propagates the wait
+//     to the submitting client, Backpressure::Reject sheds with
+//     OverloadedError. The Server keeps per-model-name cumulative counters
+//     (sheds, deploys) that survive hot-swaps, and stats(name) merges them
+//     with the live engine's snapshot (queue depth, in-flight, latency
+//     percentiles).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "runtime/model_artifact.hpp"
+#include "runtime/model_registry.hpp"
+
+namespace pecan::runtime {
+
+/// Per-model view returned by Server::stats(): the live engine snapshot plus
+/// the server's cumulative, swap-surviving counters.
+struct ModelServerStats {
+  std::uint64_t generation = 0;   ///< engine generation currently serving
+  std::uint64_t deploys = 0;      ///< successful deploys of this name
+  std::uint64_t shed_total = 0;   ///< rejected submits across all generations
+  EngineStats engine;             ///< live engine snapshot (current generation)
+};
+
+class Server {
+ public:
+  Server() = default;
+  ~Server() { shutdown(); }
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Compiles `net` into an Engine and installs it under `name` (first
+  /// deploy or hot-swap). Returns the new generation. If compilation
+  /// throws, the registry is untouched. Unload of the replaced engine is
+  /// deferred until its last lease drops: usually that is the registry's
+  /// own reference, so the old engine drains on THIS thread before deploy
+  /// returns; with requests still in flight, the drain runs on whichever
+  /// thread releases the final lease.
+  std::uint64_t deploy(const std::string& name, std::unique_ptr<nn::Sequential> net,
+                       EngineConfig config = {});
+
+  /// Rebuilds the artifact's network and deploys it. The artifact's input
+  /// geometry fills config.input_shape when unset, so requests are
+  /// validated up front.
+  std::uint64_t deploy(const std::string& name, const ModelArtifact& artifact,
+                       EngineConfig config = {});
+
+  /// Removes `name` from the registry. Outstanding leases drain on their
+  /// owners' threads; subsequent requests throw UnknownModelError.
+  void undeploy(const std::string& name);
+
+  /// Routes one sample to the engine serving `name`. Throws
+  /// UnknownModelError (not deployed), std::invalid_argument (bad sample),
+  /// or OverloadedError (Reject-mode admission shed — counted in stats).
+  std::future<Tensor> submit(const std::string& name, Tensor sample);
+
+  /// Routes a synchronous batch to the engine serving `name`.
+  Tensor forward_batch(const std::string& name, const Tensor& batch);
+
+  /// Leases the engine currently serving `name` (advanced use: pinning one
+  /// generation across several calls, reading cam_export(), ...). The lease
+  /// keeps that generation alive even across hot-swaps — drop it promptly.
+  std::shared_ptr<Engine> lease(const std::string& name) const { return registry_.acquire(name); }
+
+  bool has_model(const std::string& name) const { return registry_.contains(name); }
+  std::vector<std::string> models() const { return registry_.names(); }
+  std::uint64_t generation(const std::string& name) const { return registry_.generation(name); }
+
+  /// Cumulative + live stats for one model. Throws UnknownModelError.
+  ModelServerStats stats(const std::string& name) const;
+
+  /// Undeploys every model. In-flight requests still drain; new requests
+  /// throw UnknownModelError. Idempotent.
+  void shutdown();
+
+ private:
+  /// Swap-surviving per-name counters. Values are pointers so the map can
+  /// grow under its mutex while counters tick lock-free outside it.
+  struct Counters {
+    std::atomic<std::uint64_t> deploys{0};
+    std::atomic<std::uint64_t> shed{0};
+  };
+
+  Counters& counters(const std::string& name) const;
+  std::uint64_t install(const std::string& name, std::shared_ptr<Engine> engine);
+
+  ModelRegistry registry_;
+  mutable std::mutex counters_mutex_;
+  mutable std::map<std::string, std::unique_ptr<Counters>> counters_;
+};
+
+}  // namespace pecan::runtime

@@ -1,0 +1,166 @@
+// Bounded MPMC queue — the admission-controlled pending buffer of the
+// serving runtime.
+//
+// Any number of producers push work items; any number of consumers pop them
+// (the Engine's batcher is currently the only consumer, but nothing here
+// assumes that). The queue owns the three policy decisions a serving front
+// door needs and nothing else:
+//   * a capacity bound — push() blocks while full (backpressure propagates
+//     to the caller), try_push() returns Full immediately (caller sheds);
+//   * close semantics — close() wakes every blocked producer and consumer;
+//     pushes after close fail with Closed, pops keep draining whatever is
+//     already queued so no accepted item is ever dropped;
+//   * batched consumption — pop_batch() waits for the first item, then
+//     briefly for stragglers (micro-batch coalescing), then pops the longest
+//     prefix a caller predicate accepts.
+//
+// Push never moves from the caller's item unless it is accepted, so a
+// rejected producer still owns its payload and can retry elsewhere. (Note
+// this is a queue-level guarantee: Engine::submit takes its sample by
+// value, so at THAT boundary a shed request's tensor is gone either way.)
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pecan::util {
+
+enum class PushResult {
+  Ok,      ///< item accepted (and moved from)
+  Full,    ///< capacity reached (try_push only); item untouched
+  Closed,  ///< queue closed; item untouched
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit BoundedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push: sheds instead of waiting when full.
+  PushResult try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return PushResult::Closed;
+      if (capacity_ != 0 && items_.size() >= capacity_) return PushResult::Full;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_all();
+    return PushResult::Ok;
+  }
+
+  /// Blocking push: waits for space (backpressure). Never returns Full.
+  PushResult push(T& item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] {
+        return closed_ || capacity_ == 0 || items_.size() < capacity_;
+      });
+      if (closed_) return PushResult::Closed;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_all();
+    return PushResult::Ok;
+  }
+
+  /// Consumer side. Blocks until at least one item is queued (or returns 0
+  /// when the queue is closed and drained). If fewer than `want` items are
+  /// queued and the queue is still open, waits up to `straggler` for more to
+  /// coalesce. Then appends to `out` the longest prefix of up to `max` items
+  /// for which keep(first, candidate) holds, where `first` is the first item
+  /// popped by THIS call (always taken, and unaffected by anything the
+  /// caller already had in `out`).
+  template <typename Keep>
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max,
+                        std::chrono::microseconds straggler, std::size_t want, Keep keep) {
+    std::size_t popped = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (closed_ && items_.empty()) return 0;  // closed and drained
+        if (!closed_ && items_.size() < want && !at_capacity()) {
+          // A queue at capacity can't coalesce further — waiting for more
+          // stragglers would burn the whole window with producers stalled
+          // behind a full queue (want > capacity is a legal config).
+          cv_.wait_for(lock, straggler, [this, want] {
+            return closed_ || items_.size() >= want || at_capacity();
+          });
+          // The straggler wait releases the lock, so a concurrent consumer
+          // may have drained the queue meanwhile: re-check before front().
+          if (items_.empty()) continue;
+        }
+        break;
+      }
+      const std::size_t first = out.size();
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++popped;
+      while (!items_.empty() && popped < max && keep(out[first], items_.front())) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++popped;
+      }
+    }
+    cv_.notify_all();  // free space for blocked producers
+    return popped;
+  }
+
+  /// Moves out everything still queued (works after close(); used to answer
+  /// leftovers during shutdown).
+  std::vector<T> drain() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      out.reserve(items_.size());
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    cv_.notify_all();
+    return out;
+  }
+
+  /// Rejects future pushes and wakes every blocked producer/consumer.
+  /// Already-queued items stay poppable. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  /// Caller must hold mutex_.
+  bool at_capacity() const { return capacity_ != 0 && items_.size() >= capacity_; }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pecan::util
