@@ -219,6 +219,57 @@ Row bench_im2col(std::int64_t c, std::int64_t hw, double min_time) {
   return row;
 }
 
+// Fused unfold->pack vs the two-pass pipeline it replaced on the CAM hot
+// path: "scalar" materializes the full im2col `cols` matrix once and then
+// packs every [d, Lb] tile from it (write + re-read of the largest
+// intermediate); "blocked" gathers each tile straight from the image with
+// nn::im2col_tile. One rep produces the identical D x ntiles tile stream
+// CamConv2d::infer consumes.
+Row bench_im2col_tile(std::int64_t c, std::int64_t hw, std::int64_t d, double min_time) {
+  Rng rng(static_cast<std::uint64_t>(c * 10 + d));
+  Tensor image = rng.randn({c, hw, hw});
+  const nn::Conv2dGeometry g{c, hw, hw, 3, 1, 1};
+  const std::int64_t rows = g.rows(), len = g.cols();
+  const std::int64_t D = rows / d;
+  const std::int64_t ntiles = (len + cam::kCamTileMax - 1) / cam::kCamTileMax;
+  Tensor cols({rows, len});
+  std::vector<float> qtile(static_cast<std::size_t>(d * cam::kCamTileMax));
+
+  const double two_pass_rate = rate(
+      [&] {
+        nn::im2col(image.data(), g, cols.data());
+        for (std::int64_t j = 0; j < D; ++j) {
+          for (std::int64_t l0 = 0; l0 < len; l0 += cam::kCamTileMax) {
+            const std::int64_t lb = std::min<std::int64_t>(cam::kCamTileMax, len - l0);
+            nn::pack_cols_tile(cols.data() + j * d * len, len, d, l0, lb, qtile.data());
+            g_sink = qtile[0];
+          }
+        }
+      },
+      min_time);
+  const double fused_rate = rate(
+      [&] {
+        for (std::int64_t j = 0; j < D; ++j) {
+          for (std::int64_t l0 = 0; l0 < len; l0 += cam::kCamTileMax) {
+            const std::int64_t lb = std::min<std::int64_t>(cam::kCamTileMax, len - l0);
+            nn::im2col_tile(image.data(), g, j * d, d, l0, lb, qtile.data());
+            g_sink = qtile[0];
+          }
+        }
+      },
+      min_time);
+
+  Row row;
+  row.name = "im2col_tile_c" + std::to_string(c) + "_hw" + std::to_string(hw) + "_d" +
+             std::to_string(d);
+  row.unit = "tiles/s";
+  row.scalar = two_pass_rate * static_cast<double>(D * ntiles);
+  row.blocked = fused_rate * static_cast<double>(D * ntiles);
+  // Each fused tile reads d*lb gathered floats and writes the packed tile.
+  row.gb_per_s = row.blocked * static_cast<double>(d * cam::kCamTileMax * 8) / 1e9;
+  return row;
+}
+
 Row bench_camconv(bool angle, double min_time) {
   Rng rng(angle ? 31 : 30);
   pq::PqLayerConfig cfg;
@@ -321,6 +372,8 @@ int main(int argc, char** argv) {
   rows.push_back(bench_sgemm(256, min_time));
   rows.push_back(bench_im2col(16, 32, min_time));
   rows.push_back(bench_im2col(128, 32, min_time));
+  rows.push_back(bench_im2col_tile(16, 32, 8, min_time));
+  rows.push_back(bench_im2col_tile(64, 16, 8, min_time));
   rows.push_back(bench_camconv(false, min_time));
   rows.push_back(bench_camconv(true, min_time));
   rows.push_back(bench_camlinear(min_time));

@@ -240,6 +240,64 @@ void run_concurrent_sweep(const ModelSpec& spec, runtime::ExecPath path, std::in
   }
 }
 
+/// Batch-sharding sweep: ONE client pushing whole batches of N samples
+/// through forward_batch, with EngineConfig::shard_samples swept over
+/// {none (=N, a single in-flight execution), auto (0, one shard per pool
+/// lane), 1, 4, 16}. The speedup column is sharded img/s over the
+/// unsharded row at the same N — the measured value of letting one big
+/// request use the client-level parallelism the stateless path already
+/// gives separate clients. These rows are the ones bench/check_bench.py
+/// gates against the checked-in BENCH_runtime.json (the sharded/unsharded
+/// ratio is measured on one machine in one process, so it is stable where
+/// absolute img/s is not — though it does scale with the machine's core
+/// count, hence the generous 0.5x floor).
+void run_shard_sweep(int threads, std::int64_t rounds) {
+  util::set_global_threads(threads);
+  Rng data_rng(6021);
+  const ModelSpec spec{"lenet5-D", "lenet5", models::Variant::PecanD, 1, 28, 28, 0};
+  const std::int64_t sample_numel = 28 * 28;
+  const Tensor pool_inputs = data_rng.randn({256, 1, 28, 28});
+
+  std::printf("\nbatch-sharding sweep (1 client, forward_batch, %d threads):\n", threads);
+  std::printf("%-10s %6s %7s %10s %9s\n", "model", "batch", "shard", "img/s", "speedup");
+
+  struct Setting {
+    const char* label;
+    std::int64_t shard_of_n;  ///< -1 = use N (unsharded baseline)
+  };
+  const Setting settings[] = {{"none", -1}, {"auto", 0}, {"1", 1}, {"4", 4}, {"16", 16}};
+  for (const std::int64_t n : {std::int64_t{8}, std::int64_t{64}, std::int64_t{256}}) {
+    Tensor chunk({n, 1, 28, 28});
+    std::copy(pool_inputs.data(), pool_inputs.data() + n * sample_numel, chunk.data());
+    const std::int64_t reps = std::max<std::int64_t>(1, rounds * 512 / n);
+    double none_ips = 0.0;
+    for (const Setting& setting : settings) {
+      // A shard size >= N degenerates to the unsharded path: measuring it
+      // would gate baseline-vs-baseline noise as a "sharding" result.
+      if (setting.shard_of_n >= n) continue;
+      runtime::EngineConfig config;
+      config.shard_samples = setting.shard_of_n < 0 ? n : setting.shard_of_n;
+      runtime::Engine engine(build(spec, 99), config);
+      engine.forward_batch(chunk);  // warm the per-shard context arenas
+      util::Timer timer;
+      for (std::int64_t r = 0; r < reps; ++r) engine.forward_batch(chunk);
+      const double ips = static_cast<double>(n * reps) / timer.elapsed_s();
+      if (setting.shard_of_n < 0) none_ips = ips;
+      const double speedup = none_ips > 0 ? ips / none_ips : -1;
+      std::printf("%-10s %6lld %7s %10.2f %8.2fx\n", spec.name, static_cast<long long>(n),
+                  setting.label, ips, speedup);
+      std::fflush(stdout);
+
+      JsonRow row;
+      row.name = std::string("shard/") + spec.name + "/N" + std::to_string(n) + "/" +
+                 setting.label;
+      row.img_per_s = ips;
+      if (setting.shard_of_n >= 0) row.speedup = speedup;
+      g_json_rows.push_back(row);
+    }
+  }
+}
+
 /// Multi-model server sweep: ONE Server serving LeNet5-D (float path) and
 /// LeNet5-A (CAM path) at once, each hammered by its own client threads via
 /// submit(). Reports per-model aggregate images/sec and the engines' own
@@ -417,6 +475,12 @@ int main(int argc, char** argv) {
               "scaling", "p50 ms", "p99 ms", "peak");
   run_concurrent_sweep(lenet_d, runtime::ExecPath::Float, batch, rounds);
   run_concurrent_sweep(lenet_d, runtime::ExecPath::Cam, batch, rounds);
+
+  // Batch sharding: the acceptance sweep for one big request using the
+  // pool's client-level parallelism (8 threads per the issue's criterion;
+  // override with --shard-threads on narrower CI machines).
+  run_shard_sweep(static_cast<int>(args.get_int("shard-threads", 8)),
+                  args.get_int("shard-rounds", 2));
 
   // Multi-model server: both models live in one process, kernels threaded.
   util::set_global_threads(threads);

@@ -58,13 +58,13 @@ Tensor CamConv2d::forward(const Tensor& input) {
   return out;
 }
 
-Tensor CamConv2d::infer(const Tensor& input, nn::InferContext& ctx) const {
+Tensor CamConv2d::infer(const Tensor& input, nn::InferContext&) const {
   if (input.ndim() != 4 || input.dim(1) != cin_) {
     throw std::invalid_argument(name_ + ": expected [N," + std::to_string(cin_) + ",H,W]");
   }
   const std::int64_t n = input.dim(0), hin = input.dim(2), win = input.dim(3);
   const nn::Conv2dGeometry g{cin_, hin, win, k_, stride_, pad_};
-  const std::int64_t rows = g.rows(), len = g.cols();
+  const std::int64_t len = g.cols();
   const std::int64_t D = groups();
 
   Tensor output({n, cout_, g.hout(), g.wout()});
@@ -84,24 +84,25 @@ Tensor CamConv2d::infer(const Tensor& input, nn::InferContext& ctx) const {
         std::max<std::int64_t>(1, (1 << 14) / std::max<std::int64_t>(len, 1)));
   }
 
-  // Algorithm 1, tile-at-a-time. Per tile and group, the queries are packed
-  // once into a contiguous [d, lb] block and searched with the blocked
-  // kernels; every output element is owned by exactly one work item and
-  // accumulated in ascending-j order, which keeps results bitwise-identical
-  // to the scalar column-at-a-time path at any thread count.
+  // Algorithm 1, tile-at-a-time. Per tile and group, the queries are
+  // gathered straight from the input image into a contiguous dim-major
+  // [d, lb] block (nn::im2col_tile — no full im2col `cols` intermediate is
+  // ever materialized) and searched with the blocked kernels; every output
+  // element is owned by exactly one work item and accumulated in
+  // ascending-j order, which keeps results bitwise-identical to the scalar
+  // column-at-a-time path at any thread count and any batch split.
   const std::int64_t ntiles = (len + kCamTileMax - 1) / kCamTileMax;
   const std::int64_t tile_cost = std::max<std::int64_t>(D * p_ * d_ * kCamTileMax, 1);
   const std::int64_t grain = std::max<std::int64_t>(1, (1 << 12) / tile_cost);
 
-  // One tile of one sample: the unit of parallel work. Lane-local scratch
-  // comes from the caller (the arena is single-owner and stays on the
-  // submitting thread, so lanes may not allocate from it).
-  const auto tile_body = [&](const float* cols, float* out_s, std::int64_t l0, std::int64_t lb,
+  // One tile of one sample: the unit of parallel work. All scratch is
+  // per-tile and lane-local, so lanes never touch the caller's arena.
+  const auto tile_body = [&](const float* image, float* out_s, std::int64_t l0, std::int64_t lb,
                              float* qtile, std::int64_t* hits, float* scores) {
     for (std::int64_t j = 0; j < D; ++j) {
       const CamArray& array = arrays_[static_cast<std::size_t>(j)];
       const LutMemory& lut = luts_[static_cast<std::size_t>(j)];
-      nn::pack_cols_tile(cols + j * d_ * len, len, d_, l0, lb, qtile);
+      nn::im2col_tile(image, g, j * d_, d_, l0, lb, qtile);
       if (mode_ == pq::MatchMode::Distance) {
         array.search_block(qtile, lb, hits, *counter_);
         lut.accumulate_block(hits, lb, out_s + l0, len, *counter_);
@@ -137,60 +138,27 @@ Tensor CamConv2d::infer(const Tensor& input, nn::InferContext& ctx) const {
   };
   const std::int64_t scores_size = mode_ == pq::MatchMode::Angle ? p_ * kCamTileMax : 0;
 
-  // Batch-wide im2col hoist: unfolding every sample up front lets the
-  // search loop parallelize over a flat (sample, tile) axis — a LeNet FC
-  // layer (len = 1) with a batch of 64 spreads across every lane instead of
-  // serializing on the per-sample unfold. The hoist costs n*rows*len arena
-  // floats which the context retains at its high-water mark, so it is
-  // capped; above the cap (large-len conv layers, which already expose
-  // plenty of tiles per sample) the unfold stays per-sample. Both paths
-  // compute bitwise-identical outputs.
-  constexpr std::int64_t kHoistFloatsCap = 1 << 22;  // 16 MB of scratch
-  if (n * rows * len <= kHoistFloatsCap) {
-    float* cols_all = ctx.arena.floats(n * rows * len);
-    util::parallel_for(
-        0, n,
-        [&](std::int64_t s0, std::int64_t s1) {
-          for (std::int64_t s = s0; s < s1; ++s) {
-            nn::im2col(input.data() + s * cin_ * hin * win, g, cols_all + s * rows * len);
-          }
-        },
-        1);
-    util::parallel_for(
-        0, n * ntiles,
-        [&](std::int64_t w0, std::int64_t w1) {
-          std::vector<float> qtile(static_cast<std::size_t>(d_ * kCamTileMax));
-          std::vector<float> scores(static_cast<std::size_t>(scores_size));
-          std::int64_t hits[kCamTileMax];
-          for (std::int64_t w = w0; w < w1; ++w) {
-            const std::int64_t s = w / ntiles;
-            const std::int64_t l0 = (w % ntiles) * kCamTileMax;
-            const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
-            tile_body(cols_all + s * rows * len, output.data() + s * cout_ * len, l0, lb,
-                      qtile.data(), hits, scores.data());
-          }
-        },
-        grain);
-  } else {
-    float* cols = ctx.arena.floats(rows * len);
-    for (std::int64_t s = 0; s < n; ++s) {
-      nn::im2col(input.data() + s * cin_ * hin * win, g, cols);
-      float* out_s = output.data() + s * cout_ * len;
-      util::parallel_for(
-          0, ntiles,
-          [&](std::int64_t t0, std::int64_t t1) {
-            std::vector<float> qtile(static_cast<std::size_t>(d_ * kCamTileMax));
-            std::vector<float> scores(static_cast<std::size_t>(scores_size));
-            std::int64_t hits[kCamTileMax];
-            for (std::int64_t t = t0; t < t1; ++t) {
-              const std::int64_t l0 = t * kCamTileMax;
-              const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
-              tile_body(cols, out_s, l0, lb, qtile.data(), hits, scores.data());
-            }
-          },
-          grain);
-    }
-  }
+  // Flat (sample, tile) work axis: with the unfold fused into the per-tile
+  // gather there is no per-sample setup left, so every batch shape — a
+  // LeNet FC layer (len = 1) with a batch of 64 just as much as one large
+  // conv image — spreads across every pool lane, and the old batch-wide
+  // im2col hoist (up to 16 MB of arena scratch per context) is gone
+  // entirely: peak scratch is the per-lane [d, 64] tile.
+  util::parallel_for(
+      0, n * ntiles,
+      [&](std::int64_t w0, std::int64_t w1) {
+        std::vector<float> qtile(static_cast<std::size_t>(d_ * kCamTileMax));
+        std::vector<float> scores(static_cast<std::size_t>(scores_size));
+        std::int64_t hits[kCamTileMax];
+        for (std::int64_t w = w0; w < w1; ++w) {
+          const std::int64_t s = w / ntiles;
+          const std::int64_t l0 = (w % ntiles) * kCamTileMax;
+          const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+          tile_body(input.data() + s * cin_ * hin * win, output.data() + s * cout_ * len, l0, lb,
+                    qtile.data(), hits, scores.data());
+        }
+      },
+      grain);
   return output;
 }
 

@@ -10,7 +10,8 @@ namespace pecan::nn {
 void Conv2dGeometry::validate() const {
   if (cin <= 0 || hin <= 0 || win <= 0) throw std::invalid_argument("Conv2dGeometry: bad input dims");
   if (k <= 0 || stride <= 0 || pad < 0) throw std::invalid_argument("Conv2dGeometry: bad k/stride/pad");
-  if (hin + 2 * pad < k || win + 2 * pad < k) {
+  if (dilation <= 0) throw std::invalid_argument("Conv2dGeometry: bad dilation");
+  if (hin + 2 * pad < k_eff() || win + 2 * pad < k_eff()) {
     throw std::invalid_argument("Conv2dGeometry: kernel larger than padded input");
   }
 }
@@ -31,14 +32,14 @@ void im2col(const float* im, const Conv2dGeometry& g, float* cols) {
             for (std::int64_t kj = 0; kj < g.k; ++kj) {
               float* row = cols + ((c * g.k + ki) * g.k + kj) * ncols;
               for (std::int64_t oi = 0; oi < ho; ++oi) {
-                const std::int64_t ii = oi * g.stride + ki - g.pad;
+                const std::int64_t ii = oi * g.stride + ki * g.dilation - g.pad;
                 if (ii < 0 || ii >= g.hin) {
                   for (std::int64_t oj = 0; oj < wo; ++oj) row[oi * wo + oj] = 0.f;
                   continue;
                 }
                 const float* src = channel + ii * g.win;
                 for (std::int64_t oj = 0; oj < wo; ++oj) {
-                  const std::int64_t jj = oj * g.stride + kj - g.pad;
+                  const std::int64_t jj = oj * g.stride + kj * g.dilation - g.pad;
                   row[oi * wo + oj] = (jj < 0 || jj >= g.win) ? 0.f : src[jj];
                 }
               }
@@ -58,14 +59,81 @@ void col2im_accumulate(const float* cols, const Conv2dGeometry& g, float* im_gra
       for (std::int64_t kj = 0; kj < g.k; ++kj) {
         const float* row = cols + ((c * g.k + ki) * g.k + kj) * ncols;
         for (std::int64_t oi = 0; oi < ho; ++oi) {
-          const std::int64_t ii = oi * g.stride + ki - g.pad;
+          const std::int64_t ii = oi * g.stride + ki * g.dilation - g.pad;
           if (ii < 0 || ii >= g.hin) continue;
           float* dst = channel + ii * g.win;
           for (std::int64_t oj = 0; oj < wo; ++oj) {
-            const std::int64_t jj = oj * g.stride + kj - g.pad;
+            const std::int64_t jj = oj * g.stride + kj * g.dilation - g.pad;
             if (jj >= 0 && jj < g.win) dst[jj] += row[oi * wo + oj];
           }
         }
+      }
+    }
+  }
+}
+
+void im2col_tile(const float* im, const Conv2dGeometry& g, std::int64_t row0,
+                 std::int64_t nrows, std::int64_t l0, std::int64_t lb, float* out) {
+  const std::int64_t wo = g.wout();
+  const std::int64_t kk = g.k * g.k;
+  // All divisions happen here, once per tile; the loops below advance the
+  // (channel, ki, kj) kernel tap and the (oi, oj) output cursor by pure
+  // increments — the gather itself is segment fills/copies.
+  std::int64_t c = row0 / kk;
+  std::int64_t ki = (row0 % kk) / g.k;
+  std::int64_t kj = row0 % g.k;
+  const std::int64_t oi_start = l0 / wo;
+  const std::int64_t oj_start = l0 % wo;
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    const float* channel = im + c * g.hin * g.win;
+    const std::int64_t kid = ki * g.dilation - g.pad;
+    const std::int64_t kjd = kj * g.dilation - g.pad;
+    float* dst = out + r * lb;
+    // The tile's columns l0..l0+lb walk output locations row-major; split
+    // them into runs sharing one output row oi (fixed input row ii), then
+    // gather each run in one stride-aware pass: zero the padded prefix/
+    // suffix, copy the in-bounds middle (contiguous at stride 1).
+    std::int64_t t = 0, oi = oi_start, oj0 = oj_start;
+    while (t < lb) {
+      const std::int64_t seg = std::min(lb - t, wo - oj0);
+      const std::int64_t ii = oi * g.stride + kid;
+      if (ii < 0 || ii >= g.hin) {
+        std::fill(dst + t, dst + t + seg, 0.f);
+      } else {
+        const std::int64_t base = oj0 * g.stride + kjd;  // jj at the run start
+        // Valid u range of jj = base + u*stride within [0, win).
+        std::int64_t lo, hi;
+        if (g.stride == 1) {
+          lo = base >= 0 ? 0 : -base;
+          hi = g.win - base;
+        } else {
+          lo = base >= 0 ? 0 : (-base + g.stride - 1) / g.stride;
+          hi = base < g.win ? (g.win - 1 - base) / g.stride + 1 : 0;
+        }
+        lo = std::min(lo, seg);
+        hi = std::max(lo, std::min(hi, seg));
+        std::fill(dst + t, dst + t + lo, 0.f);
+        if (lo < hi) {
+          // Pointer formed at the first VALID element (base + lo*stride is
+          // in [0, win) whenever lo < hi), never at the padded run start.
+          const float* src = channel + ii * g.win + base + lo * g.stride;
+          if (g.stride == 1) {
+            std::copy(src, src + (hi - lo), dst + t + lo);
+          } else {
+            for (std::int64_t u = 0; u < hi - lo; ++u) dst[t + lo + u] = src[u * g.stride];
+          }
+        }
+        std::fill(dst + t + hi, dst + t + seg, 0.f);
+      }
+      t += seg;
+      oj0 = 0;
+      ++oi;
+    }
+    if (++kj == g.k) {
+      kj = 0;
+      if (++ki == g.k) {
+        ki = 0;
+        ++c;
       }
     }
   }

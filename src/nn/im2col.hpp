@@ -17,12 +17,15 @@ struct Conv2dGeometry {
   std::int64_t cin = 0;
   std::int64_t hin = 0;
   std::int64_t win = 0;
-  std::int64_t k = 0;       ///< square kernel
+  std::int64_t k = 0;        ///< square kernel
   std::int64_t stride = 1;
   std::int64_t pad = 0;
+  std::int64_t dilation = 1; ///< spacing between kernel taps (1 = dense)
 
-  std::int64_t hout() const { return (hin + 2 * pad - k) / stride + 1; }
-  std::int64_t wout() const { return (win + 2 * pad - k) / stride + 1; }
+  /// Input span covered by the (dilated) kernel along one axis.
+  std::int64_t k_eff() const { return dilation * (k - 1) + 1; }
+  std::int64_t hout() const { return (hin + 2 * pad - k_eff()) / stride + 1; }
+  std::int64_t wout() const { return (win + 2 * pad - k_eff()) / stride + 1; }
   std::int64_t rows() const { return cin * k * k; }       ///< im2col rows
   std::int64_t cols() const { return hout() * wout(); }   ///< im2col columns
   void validate() const;
@@ -51,5 +54,17 @@ inline void pack_cols_tile(const float* group_cols, std::int64_t len, std::int64
     std::copy(src, src + lb, out + i * lb);
   }
 }
+
+/// Fused unfold -> tile pack: produces the dim-major [nrows, lb] query tile
+/// the blocked CAM kernels consume DIRECTLY from the image, skipping the
+/// full im2col `cols` materialization (the largest hot-path intermediate).
+/// Bitwise-identical to im2col + pack_cols_tile:
+///   out[r * lb + t] == cols[(row0 + r) * g.cols() + (l0 + t)]
+/// for r in [0, nrows), t in [0, lb). Row row0+r decomposes into its
+/// (channel, ki, kj) kernel tap; each output row of the tile is gathered
+/// with a stride-aware inner loop (contiguous copy at stride 1, strided
+/// walk otherwise) with padding zero-filled outside the valid range.
+void im2col_tile(const float* im, const Conv2dGeometry& g, std::int64_t row0,
+                 std::int64_t nrows, std::int64_t l0, std::int64_t lb, float* out);
 
 }  // namespace pecan::nn

@@ -27,6 +27,21 @@ namespace pecan::nn {
 
 class ScratchArena {
  public:
+  /// Capacity snapshot of every slot, in allocation order — the "shape" of
+  /// one inference's scratch. The engine merges profiles of returned
+  /// contexts and prewarms freshly materialized ones from the merged
+  /// high-water mark, so a context entering a steady-state serving pool
+  /// never grows its arena mid-request.
+  struct Profile {
+    std::vector<std::int64_t> float_caps;
+    std::vector<std::int64_t> int_caps;
+
+    bool empty() const { return float_caps.empty() && int_caps.empty(); }
+    std::int64_t bytes() const;
+    /// Elementwise max with `other` (extending with its extra slots).
+    void merge(const Profile& other);
+  };
+
   /// Next slot as `count` floats (zero-filled only on fresh allocation —
   /// callers must not rely on contents). Pointer stays valid until reset().
   float* floats(std::int64_t count) { return alloc(float_slots_, count); }
@@ -39,6 +54,13 @@ class ScratchArena {
     float_cursor_ = 0;
     int_cursor_ = 0;
   }
+
+  /// Current slot capacities, in allocation order.
+  Profile profile() const;
+
+  /// Grows slots up front so the first call at the profiled geometry
+  /// allocates nothing. Never shrinks; cursors are untouched.
+  void prewarm(const Profile& profile);
 
   /// Resident scratch in bytes (capacity across all slots) — for gauges.
   std::int64_t resident_bytes() const;

@@ -6,6 +6,7 @@
 
 #include "models/variant.hpp"
 #include "nn/residual.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pecan::runtime {
 
@@ -57,21 +58,55 @@ void Engine::compile() {
   plan_names_.clear();
   flatten(active(), plan_, plan_names_);
   if (plan_.empty()) throw std::invalid_argument("Engine: empty network");
+  if (config_.shard_samples < 0) {
+    throw std::invalid_argument("Engine: shard_samples must be >= 0");
+  }
+  if (!config_.input_shape.empty()) prewarm_scratch();
+}
+
+void Engine::prewarm_scratch() {
+  // One forward on a zeros sample, off the serving path (deploy/compile
+  // time): walks the plan end to end so the leased context's arena reaches
+  // its per-sample high-water shape, which the lease release below merges
+  // into arena_profile_ — every context materialized later starts from it
+  // instead of growing during its first live request. Also fails fast on an
+  // input_shape the plan cannot actually consume.
+  Shape warm_shape{1};
+  warm_shape.insert(warm_shape.end(), config_.input_shape.begin(), config_.input_shape.end());
+  run_plan(Tensor(warm_shape));
+  // The warm-up is not traffic: undo its marks on the CAM op counter and
+  // usage histograms (they feed the paper's dynamic-op numbers and §5
+  // pruning decisions, which must only see served requests).
+  if (export_.counter) export_.counter->reset();
+  if (export_.net) export_.reset_usage();
 }
 
 // ---------------------------------------------------------- context leasing
 
 Engine::ContextLease::ContextLease(Engine& engine) : engine_(engine), ctx_(nullptr) {
   std::int64_t materialized;
+  nn::ScratchArena::Profile profile;
   {
     std::lock_guard<std::mutex> lock(engine_.ctx_mutex_);
     if (!engine_.free_contexts_.empty()) {
       ctx_ = engine_.free_contexts_.back();
       engine_.free_contexts_.pop_back();
     } else {
-      engine_.contexts_.push_back(std::make_unique<nn::InferContext>());
-      ctx_ = engine_.contexts_.back().get();
+      profile = engine_.arena_profile_;  // copy; allocate outside the lock
     }
+    materialized = static_cast<std::int64_t>(engine_.contexts_.size());
+  }
+  if (!ctx_) {
+    // Materialize + prewarm off the lock: the profile-sized allocations
+    // must not stall concurrent lease traffic during the very burst that
+    // forced a new context into existence. The context starts at the
+    // engine's merged high-water scratch profile instead of growing during
+    // its first live request.
+    auto fresh = std::make_unique<nn::InferContext>();
+    fresh->arena.prewarm(profile);
+    ctx_ = fresh.get();
+    std::lock_guard<std::mutex> lock(engine_.ctx_mutex_);
+    engine_.contexts_.push_back(std::move(fresh));
     materialized = static_cast<std::int64_t>(engine_.contexts_.size());
   }
   std::lock_guard<std::mutex> stats_lock(engine_.stats_mutex_);
@@ -86,6 +121,7 @@ Engine::ContextLease::ContextLease(Engine& engine) : engine_(engine), ctx_(nullp
 Engine::ContextLease::~ContextLease() {
   {
     std::lock_guard<std::mutex> lock(engine_.ctx_mutex_);
+    engine_.arena_profile_.merge(ctx_->arena.profile());
     engine_.free_contexts_.push_back(ctx_);
   }
   std::lock_guard<std::mutex> stats_lock(engine_.stats_mutex_);
@@ -95,15 +131,79 @@ Engine::ContextLease::~ContextLease() {
 // ------------------------------------------------------------------ forwards
 
 Tensor Engine::run_plan(const Tensor& batch) {
-  const auto start = std::chrono::steady_clock::now();
+  // No timing here: latency is recorded by the PARENT request (forward_batch
+  // or one coalesced micro-batch), so shard sub-executions are attributed to
+  // the request that spawned them instead of inflating the percentile
+  // window with per-shard samples.
   ContextLease lease(*this);
   nn::InferContext& ctx = lease.ctx();
   ctx.reset();
   Tensor x = batch;
   for (const nn::Module* step : plan_) x = step->infer(x, ctx);
-  record_latency(
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count());
   return x;
+}
+
+Tensor Engine::run_sharded(const Tensor& batch, std::int64_t& shards) {
+  shards = 1;
+  const std::int64_t n = batch.ndim() >= 2 ? batch.dim(0) : 0;
+  std::int64_t shard = config_.shard_samples;
+  if (shard == 0 && n > 0) {
+    // Auto: one shard per pool lane. A 1-lane pool yields shard == n, i.e.
+    // the plain unsharded path — serial configurations pay nothing.
+    const std::int64_t lanes = static_cast<std::int64_t>(util::global_lanes());
+    shard = (n + lanes - 1) / lanes;
+  }
+  if (n <= 1 || shard >= n) return run_plan(batch);
+
+  // Each shard is an independent in-flight execution: it leases its own
+  // InferContext and, running on a pool lane, executes its kernels inline
+  // (nested parallel_for degrades) — coarse-grained parallelism with one
+  // fork/join for the whole forward instead of one per layer. Output rows
+  // are bitwise-identical to the unsharded run because batching never
+  // crosses samples and every row keeps its serial accumulation chain; they
+  // are stitched back in sample order below.
+  const std::int64_t nshards = (n + shard - 1) / shard;
+  const std::int64_t sample_numel = batch.numel() / n;
+  std::vector<Tensor> parts(static_cast<std::size_t>(nshards));
+  util::parallel_for(
+      0, nshards,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const std::int64_t s0 = i * shard;
+          const std::int64_t sn = std::min(shard, n - s0);
+          Shape piece_shape = batch.shape();
+          piece_shape[0] = sn;
+          Tensor piece(piece_shape);
+          std::memcpy(piece.data(), batch.data() + s0 * sample_numel,
+                      static_cast<std::size_t>(sn * sample_numel) * sizeof(float));
+          parts[static_cast<std::size_t>(i)] = run_plan(piece);
+        }
+      },
+      1);
+
+  const Tensor& first = parts.front();
+  if (first.ndim() < 1 || first.dim(0) != std::min(shard, n)) {
+    throw std::logic_error("Engine: shard returned batch dim " + shape_str(first.shape()) +
+                           " for a shard of " + std::to_string(std::min(shard, n)));
+  }
+  Shape out_shape = first.shape();
+  out_shape[0] = n;
+  Tensor out(out_shape);
+  const std::int64_t row_numel = first.numel() / first.dim(0);
+  for (std::int64_t i = 0; i < nshards; ++i) {
+    const Tensor& part = parts[static_cast<std::size_t>(i)];
+    const std::int64_t s0 = i * shard;
+    const std::int64_t sn = std::min(shard, n - s0);
+    if (part.ndim() < 1 || part.dim(0) != sn || part.numel() != sn * row_numel) {
+      throw std::logic_error("Engine: shard " + std::to_string(i) + " returned " +
+                             shape_str(part.shape()) + ", expected " + std::to_string(sn) +
+                             " rows of " + std::to_string(row_numel) + " elements");
+    }
+    std::memcpy(out.data() + s0 * row_numel, part.data(),
+                static_cast<std::size_t>(sn * row_numel) * sizeof(float));
+  }
+  shards = nshards;
+  return out;
 }
 
 Tensor Engine::forward_batch(const Tensor& batch) {
@@ -120,9 +220,27 @@ Tensor Engine::forward_batch(const Tensor& batch) {
                                   shape_str(batch.shape()));
     }
   }
-  Tensor out = run_plan(batch);
+  Tensor out = run_request(batch);
   std::lock_guard<std::mutex> stats_lock(stats_mutex_);
   ++stats_.direct_batches;
+  return out;
+}
+
+Tensor Engine::run_request(const Tensor& batch) {
+  // One PARENT request: wall-clock covers every shard it fans into, one
+  // latency sample lands in the window, and the shard counters record the
+  // fan-out — shared by forward_batch and the micro-batcher so the two
+  // serving paths can never drift in how they account sharding.
+  const auto start = std::chrono::steady_clock::now();
+  std::int64_t shards = 1;
+  Tensor out = run_sharded(batch, shards);
+  record_latency(
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count());
+  if (shards > 1) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.sharded_batches;
+    stats_.shard_executions += static_cast<std::uint64_t>(shards);
+  }
   return out;
 }
 
@@ -216,7 +334,10 @@ void Engine::execute_pending(std::vector<Pending>& batch) {
                   static_cast<std::size_t>(sample_numel) * sizeof(float));
     }
 
-    Tensor out = run_plan(stacked);
+    // Micro-batches shard too (one coalesced batch = one parent request):
+    // on a multi-lane pool a full micro-batch fans out across lanes, which
+    // cuts the tail latency of every straggler coalesced into it.
+    Tensor out = run_request(stacked);
     if (out.ndim() < 1 || out.dim(0) != b) {
       throw std::logic_error("Engine: network returned batch dim " +
                              shape_str(out.shape()) + " for batch of " + std::to_string(b));
@@ -274,6 +395,7 @@ void Engine::shutdown() {
 
 void Engine::record_latency(double ms) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.latency_samples;
   if (latency_window_.size() < kLatencyWindow) {
     latency_window_.push_back(ms);
   } else {
@@ -283,8 +405,15 @@ void Engine::record_latency(double ms) {
 }
 
 EngineStats Engine::stats() const {
+  std::int64_t scratch_bytes;
+  {
+    // Merged high-water profile = the scratch one fully warmed context holds.
+    std::lock_guard<std::mutex> ctx_lock(ctx_mutex_);
+    scratch_bytes = arena_profile_.bytes();
+  }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   EngineStats snapshot = stats_;
+  snapshot.scratch_bytes = scratch_bytes;
   snapshot.queue_depth = static_cast<std::int64_t>(queue_.size());
   if (!latency_window_.empty()) {
     std::vector<double> sorted = latency_window_;

@@ -4,8 +4,12 @@
 // The engine compiles a loaded model into a flat execution plan and serves
 // it two ways:
 //   * forward_batch(): synchronous batched inference ([N,C,H,W] in,
-//     [N,classes] out), with the hot kernels spread over the global
-//     util::ThreadPool;
+//     [N,classes] out). Large batches are split into sample shards
+//     (EngineConfig::shard_samples; auto-sized from the pool width) that
+//     run as independent in-flight executions — one InferContext each,
+//     kernels inline per shard — so a single big request exploits the same
+//     client-level parallelism the stateless path gives N separate
+//     clients, with rows recombined in order and bitwise-identical output;
 //   * submit(): single-sample requests that a background batcher thread
 //     coalesces into micro-batches (up to max_batch, waiting at most
 //     batch_wait for stragglers) and answers through futures — the classic
@@ -92,6 +96,15 @@ struct EngineConfig {
   /// 0 = unbounded (no admission control).
   std::int64_t max_pending = 0;
   Backpressure backpressure = Backpressure::Block;
+  /// Batch sharding: forwards larger than this many samples split into
+  /// sample shards that run as independent in-flight executions (each
+  /// leasing its own InferContext), rows recombined in order — so ONE big
+  /// request uses the same client-level parallelism N separate clients
+  /// would. 0 = auto (ceil(N / pool lanes): one shard per lane); set it to
+  /// the batch size (or any larger value) to disable sharding. Outputs are
+  /// bitwise-identical at any shard size because batching never crosses
+  /// samples and each output row keeps its single serial accumulation chain.
+  std::int64_t shard_samples = 0;
 };
 
 struct EngineStats {
@@ -99,13 +112,20 @@ struct EngineStats {
   std::uint64_t batches = 0;          ///< micro-batches executed
   std::uint64_t batched_samples = 0;  ///< samples served through micro-batches
   std::uint64_t direct_batches = 0;   ///< forward_batch() calls
+  std::uint64_t sharded_batches = 0;  ///< forwards that split into >1 sample shard
+  std::uint64_t shard_executions = 0; ///< shard sub-executions across sharded forwards
+  std::uint64_t latency_samples = 0;  ///< forwards measured into the latency window:
+                                      ///< one per PARENT request — shards are
+                                      ///< attributed to their parent, never counted
+                                      ///< as independent requests
   std::uint64_t shed = 0;             ///< submits rejected by admission control
   std::int64_t queue_depth = 0;       ///< samples pending at snapshot time
-  std::int64_t in_flight = 0;         ///< forwards executing at snapshot time
-  std::int64_t peak_in_flight = 0;    ///< max concurrent forwards observed
+  std::int64_t in_flight = 0;         ///< executions in flight at snapshot time (shards count)
+  std::int64_t peak_in_flight = 0;    ///< max concurrent executions observed
   std::int64_t contexts = 0;          ///< InferContexts materialized (= peak concurrency)
-  double p50_ms = 0.0;                ///< forward-pass latency, median (recent window)
-  double p99_ms = 0.0;                ///< forward-pass latency, 99th percentile
+  std::int64_t scratch_bytes = 0;     ///< merged high-water arena profile (per context)
+  double p50_ms = 0.0;                ///< parent-request latency, median (recent window)
+  double p99_ms = 0.0;                ///< parent-request latency, 99th percentile
 };
 
 class Engine {
@@ -177,7 +197,20 @@ class Engine {
 
   const nn::Module& active() const { return export_.net ? *export_.net : *net_; }
   Tensor run_plan(const Tensor& batch);
+  /// One parent request (a forward_batch call or one coalesced
+  /// micro-batch): runs sharded, records ONE latency sample, bumps the
+  /// shard counters.
+  Tensor run_request(const Tensor& batch);
+  /// Sharded execution: splits `batch` into sample shards per
+  /// config_.shard_samples and runs each as an independent in-flight
+  /// execution over the global pool, stitching rows back in order. Returns
+  /// the shard count through `shards` (1 = ran unsharded).
+  Tensor run_sharded(const Tensor& batch, std::int64_t& shards);
   void compile();
+  /// One throwaway forward at compile time (input_shape known): sizes the
+  /// scratch profile so serving-path requests start fully prewarmed, then
+  /// resets the op counter / usage histograms the warm-up touched.
+  void prewarm_scratch();
   void batcher_loop();
   void execute_pending(std::vector<Pending>& batch);
   void ensure_batcher();
@@ -190,12 +223,16 @@ class Engine {
   std::vector<const nn::Module*> plan_;  ///< flattened execution steps, in order
   std::vector<std::string> plan_names_;
 
-  // Per-worker inference contexts: leased per in-flight forward, grown on
-  // demand, owned for the engine's lifetime (arenas keep their high-water
-  // capacity, so steady-state serving allocates no scratch).
-  std::mutex ctx_mutex_;
+  // Per-worker inference contexts: leased per in-flight execution, grown on
+  // demand, owned for the engine's lifetime. Released contexts merge their
+  // arena shape into arena_profile_ (the engine-wide high-water mark, seeded
+  // by the compile-time warm-up) and new contexts prewarm from it, so
+  // steady-state serving does zero arena growth — even on a context
+  // materialized mid-burst for a new peak of concurrency.
+  mutable std::mutex ctx_mutex_;
   std::vector<std::unique_ptr<nn::InferContext>> contexts_;
   std::vector<nn::InferContext*> free_contexts_;
+  nn::ScratchArena::Profile arena_profile_;
 
   // Bounded pending queue (admission control) + the batcher that consumes
   // it. batcher_mutex_ guards the thread handle and stopping_; the queue has

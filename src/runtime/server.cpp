@@ -24,8 +24,9 @@ std::uint64_t Server::install(const std::string& name, std::shared_ptr<Engine> e
 std::uint64_t Server::deploy(const std::string& name, std::unique_ptr<nn::Sequential> net,
                              EngineConfig config) {
   // Compile outside any lock: this is the expensive part (weight transfer,
-  // CAM export, plan flattening) and a throw here must leave the currently
-  // serving engine untouched.
+  // CAM export, plan flattening, and — with a known input geometry — the
+  // scratch-profile warm-up forward) and a throw here must leave the
+  // currently serving engine untouched.
   auto engine = std::make_shared<Engine>(std::move(net), config);
   return install(name, std::move(engine));
 }

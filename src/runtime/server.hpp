@@ -26,7 +26,17 @@
 //     OverloadedError. The Server keeps per-model-name cumulative counters
 //     (sheds, deploys) that survive hot-swaps, and stats(name) merges them
 //     with the live engine's snapshot (queue depth, in-flight, latency
-//     percentiles).
+//     percentiles, shard counters).
+//
+//   * Sharded big batches, for free. forward_batch(model, batch) routes to
+//     Engine::forward_batch, which splits large batches into sample shards
+//     (EngineConfig::shard_samples) that run as independent in-flight
+//     executions — so one bulk-scoring request no longer monopolizes a
+//     single execution lane while latency-sensitive models starve, and a
+//     single client saturates the pool the way N concurrent clients would.
+//     Deploy-time compilation also prewarms the engine's scratch profile
+//     (when the artifact/config provides the input geometry), keeping
+//     first-request latency after a hot-swap free of arena growth.
 #pragma once
 
 #include <atomic>
@@ -85,7 +95,9 @@ class Server {
   /// or OverloadedError (Reject-mode admission shed — counted in stats).
   std::future<Tensor> submit(const std::string& name, Tensor sample);
 
-  /// Routes a synchronous batch to the engine serving `name`.
+  /// Routes a synchronous batch to the engine serving `name`. Batches
+  /// larger than the engine's shard_samples execute as concurrent sample
+  /// shards (bitwise-identical rows, recombined in order).
   Tensor forward_batch(const std::string& name, const Tensor& batch);
 
   /// Leases the engine currently serving `name` (advanced use: pinning one

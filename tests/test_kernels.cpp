@@ -115,6 +115,86 @@ TEST(SearchBlock, ScoresBitwiseMatchScalar) {
   }
 }
 
+// ------------------------------------------------- fused im2col tile pack
+
+// The fused gather must equal the two-pass im2col -> pack_cols_tile
+// pipeline BITWISE for every tile and row group — that equality is what
+// lets CamConv2d::infer drop the full `cols` intermediate. Sweep odd
+// geometry mixes (stride/pad/dilation, non-square, k=1 FC-style, tile
+// tails with Lb not dividing len) and the issue's subvector dims.
+TEST(Im2colTile, FusedMatchesTwoPassAcrossGeometries) {
+  struct Geo {
+    std::int64_t cin, hin, win, k, stride, pad, dilation;
+  };
+  const Geo geos[] = {
+      {1, 9, 9, 3, 1, 1, 1},    // len 81: one full 64-tile + a 17 tail
+      {3, 7, 5, 3, 1, 0, 1},    // non-square, no pad
+      {2, 11, 9, 3, 2, 1, 1},   // strided
+      {2, 11, 11, 3, 1, 2, 2},  // dilated + padded, len 121
+      {1, 12, 10, 3, 2, 2, 2},  // stride+pad+dilation mix
+      {4, 6, 6, 1, 1, 0, 1},    // 1x1 kernel (the FC path)
+      {1, 8, 8, 2, 3, 1, 1},    // even kernel, stride 3
+      {2, 10, 7, 3, 3, 0, 3},   // heavy dilation: k_eff == win
+  };
+  for (const Geo& geo : geos) {
+    const nn::Conv2dGeometry g{geo.cin, geo.hin, geo.win, geo.k, geo.stride, geo.pad, geo.dilation};
+    g.validate();
+    const std::int64_t rows = g.rows(), len = g.cols();
+    Rng rng(static_cast<std::uint64_t>(geo.cin * 1000 + geo.hin * 10 + geo.stride));
+    const Tensor image = rng.randn({geo.cin, geo.hin, geo.win});
+    const Tensor cols = nn::im2col(image, g);
+
+    std::vector<float> fused(static_cast<std::size_t>(9 * kCamTileMax));
+    std::vector<float> two_pass(static_cast<std::size_t>(9 * kCamTileMax));
+    for (const std::int64_t d : {std::int64_t{1}, std::int64_t{2}, std::int64_t{9}}) {
+      for (std::int64_t row0 = 0; row0 + d <= rows; row0 += d) {
+        for (std::int64_t l0 = 0; l0 < len; l0 += kCamTileMax) {
+          const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+          nn::im2col_tile(image.data(), g, row0, d, l0, lb, fused.data());
+          nn::pack_cols_tile(cols.data() + row0 * len, len, d, l0, lb, two_pass.data());
+          for (std::int64_t i = 0; i < d * lb; ++i) {
+            ASSERT_EQ(two_pass[static_cast<std::size_t>(i)], fused[static_cast<std::size_t>(i)])
+                << "cin=" << geo.cin << " k=" << geo.k << " stride=" << geo.stride
+                << " pad=" << geo.pad << " dilation=" << geo.dilation << " d=" << d
+                << " row0=" << row0 << " l0=" << l0 << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// im2col's dilation handling checked against the index definition directly
+// (not against another library routine): cols[(c*k+ki)*k+kj, oi*wo+oj] must
+// read im[c, oi*stride + ki*dilation - pad, oj*stride + kj*dilation - pad],
+// zero outside the image. Guards the shared definition both the fused and
+// the two-pass path are tested against above.
+TEST(Im2colTile, DilationMatchesIndexDefinition) {
+  const nn::Conv2dGeometry g{2, 11, 11, 3, 2, 1, 2};
+  g.validate();
+  Tensor image({2, 11, 11});
+  for (std::int64_t i = 0; i < image.numel(); ++i) image[i] = static_cast<float>(i) * 0.25f;
+  const Tensor cols = nn::im2col(image, g);
+  const std::int64_t ho = g.hout(), wo = g.wout();
+  for (std::int64_t c = 0; c < g.cin; ++c) {
+    for (std::int64_t ki = 0; ki < g.k; ++ki) {
+      for (std::int64_t kj = 0; kj < g.k; ++kj) {
+        for (std::int64_t oi = 0; oi < ho; ++oi) {
+          for (std::int64_t oj = 0; oj < wo; ++oj) {
+            const std::int64_t ii = oi * g.stride + ki * g.dilation - g.pad;
+            const std::int64_t jj = oj * g.stride + kj * g.dilation - g.pad;
+            const float expected = (ii < 0 || ii >= g.hin || jj < 0 || jj >= g.win)
+                                       ? 0.f
+                                       : image[(c * g.hin + ii) * g.win + jj];
+            ASSERT_EQ(expected, cols[((c * g.k + ki) * g.k + kj) * (ho * wo) + oi * wo + oj])
+                << "c=" << c << " ki=" << ki << " kj=" << kj << " oi=" << oi << " oj=" << oj;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(SearchBlock, RejectsOversizedTile) {
   Rng rng(7);
   CamArray array(rng.randn({4, 3}), SearchMetric::L1BestMatch);
@@ -308,10 +388,11 @@ TEST(CamConv2dTiled, InferMatchesColumnAtATimeReference) {
   }
 }
 
-TEST(CamConv2dTiled, LargeUnfoldFallbackMatchesPerSampleInfer) {
-  // Above the batch-wide im2col hoist cap (n*rows*len > 2^22 floats) infer
-  // switches to the per-sample unfold; single-sample calls stay under the
-  // cap and take the hoisted path. Both must agree bitwise.
+TEST(CamConv2dTiled, LargeGeometryBatchedMatchesPerSampleInfer) {
+  // Batch-size invariance at a geometry that used to overflow the old
+  // batch-wide unfold cap: with the fused im2col_tile gather there is one
+  // code path at every batch size, and a batched infer must stay bitwise
+  // equal to per-sample infers (this is also what batch sharding rests on).
   Rng rng(33);
   pq::PqLayerConfig cfg;
   cfg.mode = pq::MatchMode::Distance;

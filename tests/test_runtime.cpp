@@ -271,9 +271,17 @@ TEST_P(EngineEquivalence, FloatPathConcurrentClientsBitwiseIdentical) {
   EXPECT_EQ(stats.in_flight, 0);  // all drained
   EXPECT_GE(stats.peak_in_flight, 1);
   EXPECT_GE(stats.contexts, 1);
-  EXPECT_LE(stats.contexts, 4);  // never more contexts than peak clients
+  // With auto batch sharding each client's forward can lease one context
+  // per shard, so the context pool is no longer bounded by the client
+  // count alone. 4 clients x 3 lanes (set_global_threads(3) = caller + 2
+  // workers) = 12 is the per-call worst case; the tighter live bound is
+  // the threads that can run an execution at once (4 clients + 2 workers).
+  EXPECT_LE(stats.contexts, 4 * 3);
   EXPECT_GT(stats.p99_ms, 0.0);
   EXPECT_LE(stats.p50_ms, stats.p99_ms);
+  // Latency percentiles cover parent requests only: 16 forward_batch calls
+  // produced exactly 16 samples no matter how many shards they spawned.
+  EXPECT_EQ(stats.latency_samples, 16u);
 }
 
 TEST_P(EngineEquivalence, CamPathConcurrentClientsBitwiseIdentical) {
@@ -351,6 +359,164 @@ TEST(EngineConcurrency, ResNetServingPlanMatchesEvalForward) {
   util::set_global_threads(1);
   ASSERT_TRUE(out.same_shape(expected));
   for (std::int64_t i = 0; i < out.numel(); ++i) EXPECT_EQ(out[i], expected[i]);
+}
+
+// ------------------------------------------------------- batch sharding
+
+/// Usage histograms of every CAM layer/group, flattened for comparison.
+std::vector<std::vector<std::uint64_t>> collect_usage(runtime::Engine& engine) {
+  std::vector<std::vector<std::uint64_t>> usage;
+  for (const cam::CamConv2d* layer : engine.cam_export().cam_layers) {
+    for (std::int64_t j = 0; j < layer->groups(); ++j) usage.push_back(layer->usage(j));
+  }
+  return usage;
+}
+
+/// Sharded forward_batch must be bitwise-identical to the unsharded run —
+/// outputs, OpCounter totals, and per-word usage histograms — at any
+/// thread count and shard size. This is THE guarantee that makes
+/// shard_samples a pure performance knob.
+TEST(EngineSharding, CamShardedMatchesUnshardedBitwise) {
+  constexpr std::int64_t kBatch = 5;
+  Rng data_rng(151);
+  const Tensor batch = random_batch(data_rng, kBatch);
+  for (const int threads : {1, 3, 7}) {
+    util::set_global_threads(threads);
+    for (const models::Variant variant : {models::Variant::PecanA, models::Variant::PecanD}) {
+      runtime::EngineConfig reference_config;
+      reference_config.path = runtime::ExecPath::Cam;
+      reference_config.shard_samples = kBatch;  // >= N: stays one execution
+      Rng rng(157);
+      runtime::Engine reference(models::make_lenet5(variant, rng), reference_config);
+      const Tensor expected = reference.forward_batch(batch);
+      const std::uint64_t ref_adds = reference.counter()->adds.load();
+      const std::uint64_t ref_muls = reference.counter()->muls.load();
+      const std::uint64_t ref_searches = reference.counter()->cam_searches.load();
+      const auto ref_usage = collect_usage(reference);
+      EXPECT_EQ(reference.stats().sharded_batches, 0u);
+
+      for (const std::int64_t shard : {std::int64_t{0}, std::int64_t{1}, std::int64_t{3}}) {
+        runtime::EngineConfig config = reference_config;
+        config.shard_samples = shard;
+        Rng rng2(157);
+        runtime::Engine engine(models::make_lenet5(variant, rng2), config);
+        const Tensor out = engine.forward_batch(batch);
+        ASSERT_TRUE(out.same_shape(expected));
+        for (std::int64_t i = 0; i < out.numel(); ++i) {
+          ASSERT_EQ(expected[i], out[i])
+              << "variant=" << models::variant_name(variant) << " threads=" << threads
+              << " shard=" << shard << " i=" << i;
+        }
+        EXPECT_EQ(ref_adds, engine.counter()->adds.load()) << "shard=" << shard;
+        EXPECT_EQ(ref_muls, engine.counter()->muls.load()) << "shard=" << shard;
+        EXPECT_EQ(ref_searches, engine.counter()->cam_searches.load()) << "shard=" << shard;
+        EXPECT_EQ(ref_usage, collect_usage(engine))
+            << "usage drift at threads=" << threads << " shard=" << shard;
+
+        const runtime::EngineStats stats = engine.stats();
+        if (shard == 1) {
+          // 5 single-sample shards from one parent request.
+          EXPECT_EQ(stats.sharded_batches, 1u);
+          EXPECT_EQ(stats.shard_executions, 5u);
+        }
+        EXPECT_EQ(stats.direct_batches, 1u);
+      }
+    }
+  }
+  util::set_global_threads(1);
+}
+
+TEST(EngineSharding, FloatShardedMatchesUnshardedBitwise) {
+  constexpr std::int64_t kBatch = 6;
+  Rng data_rng(163);
+  const Tensor batch = random_batch(data_rng, kBatch);
+  for (const int threads : {1, 3, 7}) {
+    util::set_global_threads(threads);
+    runtime::EngineConfig reference_config;
+    reference_config.shard_samples = kBatch;
+    Rng rng(167);
+    runtime::Engine reference(models::make_lenet5(models::Variant::PecanD, rng), reference_config);
+    const Tensor expected = reference.forward_batch(batch);
+    for (const std::int64_t shard : {std::int64_t{0}, std::int64_t{1}, std::int64_t{3}}) {
+      runtime::EngineConfig config = reference_config;
+      config.shard_samples = shard;
+      Rng rng2(167);
+      runtime::Engine engine(models::make_lenet5(models::Variant::PecanD, rng2), config);
+      const Tensor out = engine.forward_batch(batch);
+      ASSERT_TRUE(out.same_shape(expected));
+      for (std::int64_t i = 0; i < out.numel(); ++i) {
+        ASSERT_EQ(expected[i], out[i]) << "threads=" << threads << " shard=" << shard << " i=" << i;
+      }
+    }
+  }
+  util::set_global_threads(1);
+}
+
+TEST(EngineSharding, LatencyAttributedToParentRequest) {
+  // 3 parent requests x 6 shards each: the latency window must hold exactly
+  // 3 samples (sharding must not inflate the percentile stats), while the
+  // shard counters expose the fan-out.
+  Rng rng(173);
+  runtime::EngineConfig config;
+  config.shard_samples = 1;
+  runtime::Engine engine(models::make_lenet5(models::Variant::PecanD, rng), config);
+  Rng data_rng(179);
+  const Tensor batch = random_batch(data_rng, 6);
+  for (int r = 0; r < 3; ++r) engine.forward_batch(batch);
+  const runtime::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.direct_batches, 3u);
+  EXPECT_EQ(stats.latency_samples, 3u);
+  EXPECT_EQ(stats.sharded_batches, 3u);
+  EXPECT_EQ(stats.shard_executions, 18u);
+  EXPECT_GT(stats.p99_ms, 0.0);
+}
+
+TEST(EngineSharding, RejectsNegativeShardSamples) {
+  Rng rng(181);
+  runtime::EngineConfig config;
+  config.shard_samples = -1;
+  EXPECT_THROW(runtime::Engine(models::make_lenet5(models::Variant::PecanD, rng), config),
+               std::invalid_argument);
+}
+
+TEST(EngineSharding, PrewarmedEngineServesWithoutArenaGrowth) {
+  // from_artifact knows the input geometry, so compile prewarms the scratch
+  // profile: a fresh Float-path engine (PecanConv2d matching draws im2col /
+  // assignment scratch from the arena) reports a non-zero merged profile
+  // before any request, and serving a request at the warmed geometry grows
+  // nothing.
+  Rng rng(191);
+  auto trained = models::make_lenet5(models::Variant::PecanD, rng);
+  trained->set_training(false);
+  runtime::ModelArtifact artifact =
+      runtime::make_artifact("lenet5", models::Variant::PecanD, 10, *trained);
+  auto engine = runtime::Engine::from_artifact(artifact);
+  EXPECT_GT(engine->stats().scratch_bytes, 0);
+  Rng data_rng(193);
+  Tensor sample = data_rng.randn({1, 1, 28, 28});
+  const std::int64_t warmed = engine->stats().scratch_bytes;
+  engine->forward_batch(sample);
+  EXPECT_EQ(engine->stats().scratch_bytes, warmed);
+}
+
+TEST(EngineSharding, PrewarmResetsOpCounterAndUsage) {
+  // The CAM-path warm-up forward is not traffic: the op counter and the §5
+  // usage histograms it touched must read zero on a fresh engine, then
+  // count normally once real requests arrive.
+  Rng rng(195);
+  auto trained = models::make_lenet5(models::Variant::PecanD, rng);
+  trained->set_training(false);
+  runtime::ModelArtifact artifact =
+      runtime::make_artifact("lenet5", models::Variant::PecanD, 10, *trained);
+  auto engine = runtime::Engine::from_artifact(artifact, {runtime::ExecPath::Cam});
+  EXPECT_EQ(engine->counter()->cam_searches.load(), 0u);
+  EXPECT_EQ(engine->counter()->adds.load(), 0u);
+  for (const auto& group_usage : collect_usage(*engine)) {
+    for (const std::uint64_t count : group_usage) EXPECT_EQ(count, 0u);
+  }
+  Rng data_rng(197);
+  engine->forward_batch(data_rng.randn({1, 1, 28, 28}));
+  EXPECT_GT(engine->counter()->cam_searches.load(), 0u);
 }
 
 // ----------------------------------------------- submit validation + races
