@@ -1,0 +1,343 @@
+// Network serving load generator for runtime::NetServer.
+//
+// Two traffic shapes against a live wire endpoint:
+//
+//   * Closed-loop sweep — {1, 2, 4, 8} concurrent connections, each a
+//     think-time-free request loop (send, wait, repeat). Reports aggregate
+//     RPS and per-request p50/p99; the speedup column is RPS(cN)/RPS(c1),
+//     the connection-scaling ratio check_bench.py gates (a same-machine,
+//     same-process ratio — stable where absolute RPS is not).
+//
+//   * Open-loop, coordinated-omission-free — a sender thread follows a
+//     PRE-COMPUTED arrival schedule (Poisson or bursty) over one pipelined
+//     connection, never pausing for replies; a receiver thread matches
+//     replies by request id. Latency is measured from the SCHEDULED arrival
+//     time, so a stalled server inflates the tail instead of silently
+//     thinning the arrival stream (the classic closed-loop lie).
+//
+// By default the bench self-hosts: it deploys LeNet5 PECAN-D in-process,
+// starts a NetServer on an ephemeral loopback port, and measures through a
+// real socket. Point it at an external `model_server --listen <port>` with
+// --host/--port (model name via --model). --smoke shrinks every count for
+// CI; --json writes the machine-readable rows next to BENCH_runtime.json.
+//
+// Weights are random — wire + serving cost is shape-determined.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "models/lenet.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/net_client.hpp"
+#include "runtime/net_server.hpp"
+#include "runtime/server.hpp"
+#include "tensor/rng.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace pecan;
+using Clock = std::chrono::steady_clock;
+
+/// One machine-readable result row for --json. Fields < 0 are omitted.
+struct JsonRow {
+  std::string name;  ///< e.g. "net/closed/c4" or "net/open/poisson"
+  double rps = -1;
+  double speedup = -1;  ///< closed-loop rows: RPS(cN) / RPS(c1) — the gate
+  double p50_ms = -1;
+  double p99_ms = -1;
+  long long shed = -1;
+};
+
+std::vector<JsonRow> g_json_rows;
+
+void write_json(const std::string& path, int executors) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_net_throughput: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"net_throughput\",\n  \"executors\": %d,\n", executors);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < g_json_rows.size(); ++i) {
+    const JsonRow& r = g_json_rows[i];
+    std::fprintf(f, "    {\"name\": \"%s\"", r.name.c_str());
+    if (r.rps >= 0) std::fprintf(f, ", \"rps\": %.4g", r.rps);
+    if (r.speedup >= 0) std::fprintf(f, ", \"speedup\": %.3g", r.speedup);
+    if (r.p50_ms >= 0) std::fprintf(f, ", \"p50_ms\": %.4g", r.p50_ms);
+    if (r.p99_ms >= 0) std::fprintf(f, ", \"p99_ms\": %.4g", r.p99_ms);
+    if (r.shed >= 0) std::fprintf(f, ", \"shed\": %lld", r.shed);
+    std::fprintf(f, "}%s\n", i + 1 < g_json_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  return values[index];
+}
+
+struct RunResult {
+  double rps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  long long shed = 0;
+};
+
+// ------------------------------------------------------------- closed loop
+
+/// `connections` think-time-free request loops, each over its own socket.
+RunResult run_closed(const std::string& host, std::uint16_t port, const std::string& model,
+                     const Tensor& sample, int connections, std::int64_t per_client) {
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(connections));
+  std::atomic<long long> shed{0};
+  util::Timer timer;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      runtime::NetClient client(host, port);
+      auto& lats = latencies[static_cast<std::size_t>(c)];
+      lats.reserve(static_cast<std::size_t>(per_client));
+      for (std::int64_t r = 0; r < per_client; ++r) {
+        const Clock::time_point t0 = Clock::now();
+        try {
+          client.infer(model, sample);
+        } catch (const runtime::OverloadedError&) {
+          shed.fetch_add(1);
+          continue;  // shed requests do not contribute a service latency
+        }
+        lats.push_back(std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed = timer.elapsed_s();
+
+  RunResult out;
+  std::vector<double> all;
+  for (const auto& lats : latencies) all.insert(all.end(), lats.begin(), lats.end());
+  out.rps = static_cast<double>(connections * per_client) / elapsed;
+  out.p50_ms = percentile(all, 0.50);
+  out.p99_ms = percentile(all, 0.99);
+  out.shed = shed.load();
+  return out;
+}
+
+// --------------------------------------------------------------- open loop
+
+/// Runs `offsets_s` (pre-computed arrival offsets, seconds from t0) as an
+/// open-loop stream over ONE pipelined connection: the sender follows the
+/// schedule no matter how far replies lag, the receiver matches replies by
+/// id, and each latency is measured from the request's SCHEDULED arrival —
+/// a stall penalizes the tail instead of pausing the workload.
+RunResult run_open(const std::string& host, std::uint16_t port, const std::string& model,
+                   const Tensor& sample, const std::vector<double>& offsets_s) {
+  runtime::NetClient client(host, port);
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, Clock::time_point> scheduled;
+  const std::size_t total = offsets_s.size();
+
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  long long shed = 0, errors = 0;
+  // Lead-in so the first arrivals are not already in the past.
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(20);
+
+  std::thread receiver([&] {
+    for (std::size_t i = 0; i < total; ++i) {
+      const runtime::NetClient::Reply reply = client.recv();
+      const Clock::time_point now = Clock::now();
+      Clock::time_point arrival;
+      for (;;) {  // the reply can outrun the sender's bookkeeping insert
+        std::unique_lock<std::mutex> lock(mutex);
+        const auto it = scheduled.find(reply.request_id);
+        if (it != scheduled.end()) {
+          arrival = it->second;
+          scheduled.erase(it);
+          break;
+        }
+        lock.unlock();
+        std::this_thread::yield();
+      }
+      if (reply.status == runtime::wire::Status::Ok) {
+        latencies.push_back(std::chrono::duration<double, std::milli>(now - arrival).count());
+      } else if (reply.status == runtime::wire::Status::Overloaded) {
+        ++shed;
+      } else {
+        ++errors;
+      }
+    }
+  });
+
+  for (const double offset : offsets_s) {
+    const Clock::time_point arrival =
+        t0 + std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(offset));
+    std::this_thread::sleep_until(arrival);
+    const std::uint64_t id = client.send_infer(model, sample);
+    std::lock_guard<std::mutex> lock(mutex);
+    scheduled.emplace(id, arrival);
+  }
+  receiver.join();
+  if (errors > 0) std::fprintf(stderr, "open loop: %lld unexpected error replies\n", errors);
+
+  RunResult out;
+  const double span =
+      std::chrono::duration<double>(Clock::now() - t0).count();  // schedule start -> last reply
+  out.rps = span > 0 ? static_cast<double>(total) / span : 0.0;
+  out.p50_ms = percentile(latencies, 0.50);
+  out.p99_ms = percentile(latencies, 0.99);
+  out.shed = shed;
+  return out;
+}
+
+/// Poisson arrivals: exponential inter-arrival gaps at `rate` req/s.
+std::vector<double> poisson_schedule(std::size_t n, double rate, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::exponential_distribution<double> gap(rate);
+  std::vector<double> offsets;
+  offsets.reserve(n);
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += gap(gen);
+    offsets.push_back(t);
+  }
+  return offsets;
+}
+
+/// Bursty arrivals: `burst` simultaneous requests every `burst / rate`
+/// seconds — same average rate as the Poisson stream, maximally clumped.
+std::vector<double> bursty_schedule(std::size_t n, double rate, std::size_t burst) {
+  std::vector<double> offsets;
+  offsets.reserve(n);
+  const double gap = static_cast<double>(burst) / rate;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets.push_back(static_cast<double>(i / burst) * gap);
+  }
+  return offsets;
+}
+
+void emit(const char* label, const std::string& row_name, const RunResult& r, double speedup) {
+  std::printf("%-14s %9.1f %8s %9.3f %9.3f %6lld\n", label, r.rps,
+              speedup >= 0 ? (std::to_string(speedup).substr(0, 4) + "x").c_str() : "-", r.p50_ms,
+              r.p99_ms, r.shed);
+  std::fflush(stdout);
+  JsonRow row;
+  row.name = row_name;
+  row.rps = r.rps;
+  row.speedup = speedup;
+  row.p50_ms = r.p50_ms;
+  row.p99_ms = r.p99_ms;
+  row.shed = r.shed;
+  g_json_rows.push_back(row);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const std::string host = args.get("host", "127.0.0.1");
+  auto port = static_cast<std::uint16_t>(args.get_int("port", 0));  // 0 = self-host
+  const std::string model = args.get("model", "lenet5-d");
+  const int threads = static_cast<int>(args.get_int("threads", 2));
+  const int executors = static_cast<int>(args.get_int("executors", 4));
+  const std::int64_t closed_requests = args.get_int("requests", smoke ? 25 : 200);
+  const auto open_requests =
+      static_cast<std::size_t>(args.get_int("open-requests", smoke ? 80 : 400));
+  const double rate_arg = args.get_double("rate", 0);  // 0 = derive from closed-loop c1
+  const auto burst = static_cast<std::size_t>(args.get_int("burst", 16));
+  const std::string json_path = args.get("json", "");
+
+  // Self-host unless the caller pointed us at an external server.
+  std::unique_ptr<runtime::Server> server;
+  std::unique_ptr<runtime::NetServer> net;
+  if (port == 0) {
+    util::set_global_threads(threads);
+    server = std::make_unique<runtime::Server>();
+    runtime::EngineConfig config;
+    config.max_batch = 8;
+    config.batch_wait = std::chrono::microseconds(200);
+    {
+      Rng rng(7);
+      server->deploy(model, models::make_lenet5(models::Variant::PecanD, rng), config);
+    }
+    runtime::NetServerConfig net_config;
+    net_config.host = host;
+    net_config.executors = executors;
+    net = std::make_unique<runtime::NetServer>(*server, net_config);
+    net->start();
+    port = net->port();
+    std::printf("self-hosted NetServer on %s:%u (model %s, %d executors, %d kernel threads)\n",
+                host.c_str(), static_cast<unsigned>(port), model.c_str(), executors, threads);
+  } else {
+    std::printf("targeting external server %s:%u (model %s)\n", host.c_str(),
+                static_cast<unsigned>(port), model.c_str());
+  }
+
+  Rng data_rng(1234);
+  const Tensor sample = data_rng.randn({1, 28, 28});
+  {  // connectivity + warm-up (arena growth, first-request costs)
+    runtime::NetClient probe(host, port);
+    probe.ping();
+    for (int i = 0; i < (smoke ? 2 : 8); ++i) probe.infer(model, sample);
+  }
+
+  std::printf("\nclosed loop (%lld req/connection):\n", static_cast<long long>(closed_requests));
+  std::printf("%-14s %9s %8s %9s %9s %6s\n", "shape", "RPS", "scaling", "p50 ms", "p99 ms",
+              "shed");
+  double c1_rps = 0;
+  for (const int connections : {1, 2, 4, 8}) {
+    const RunResult r = run_closed(host, port, model, sample, connections, closed_requests);
+    if (connections == 1) c1_rps = r.rps;
+    const std::string label = "closed/c" + std::to_string(connections);
+    emit(label.c_str(), "net/" + label, r, c1_rps > 0 ? r.rps / c1_rps : -1);
+  }
+
+  // Open-loop rate: default to ~60% of the single-connection closed-loop
+  // service rate — busy but below saturation, so the CO-free latency numbers
+  // describe queueing jitter rather than a divergent backlog.
+  const double rate = rate_arg > 0 ? rate_arg : std::max(50.0, 0.6 * c1_rps);
+  std::printf("\nopen loop (%zu requests at %.0f req/s average, latency from scheduled "
+              "arrival):\n",
+              open_requests, rate);
+  std::printf("%-14s %9s %8s %9s %9s %6s\n", "shape", "RPS", "scaling", "p50 ms", "p99 ms",
+              "shed");
+  emit("open/poisson", "net/open/poisson",
+       run_open(host, port, model, sample, poisson_schedule(open_requests, rate, 42)), -1);
+  emit("open/bursty", "net/open/bursty",
+       run_open(host, port, model, sample, bursty_schedule(open_requests, rate, burst)), -1);
+
+  if (net) {
+    net->stop();
+    const runtime::NetServerStats stats = net->stats();
+    std::printf("\nwire totals: %llu conns, %llu frames, %llu ok / %llu error replies, "
+                "%llu KiB in / %llu KiB out\n",
+                static_cast<unsigned long long>(stats.connections_accepted),
+                static_cast<unsigned long long>(stats.frames),
+                static_cast<unsigned long long>(stats.replies_ok),
+                static_cast<unsigned long long>(stats.replies_error),
+                static_cast<unsigned long long>(stats.bytes_in >> 10),
+                static_cast<unsigned long long>(stats.bytes_out >> 10));
+    server->shutdown();
+  }
+
+  if (!json_path.empty()) write_json(json_path, executors);
+  for (const std::string& key : args.unused()) {
+    std::fprintf(stderr, "warning: unused argument --%s\n", key.c_str());
+  }
+  return 0;
+}

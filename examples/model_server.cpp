@@ -15,9 +15,23 @@
 //      reject-mode pending queue and bursts it; the shed counter and the
 //      distinct OverloadedError are the overload-protection story.
 //
+//   5. Network serving — with --listen <port> the same three models go on
+//      the wire: a runtime::NetServer speaks the length-prefixed binary
+//      protocol on the given port until SIGINT/SIGTERM, then drains
+//      gracefully (stop accepting, finish in-flight requests, flush
+//      replies) and prints final per-model counters. Point
+//      bench_net_throughput at it for a measured-RPS run.
+//
+// SIGINT/SIGTERM trigger graceful drain in BOTH modes: the demo's client
+// loops stop submitting and in-flight futures complete before exit, instead
+// of the process dying mid-flight.
+//
 // Weights are random (this is a serving demo, not an accuracy demo); the
 // numbers are shapes-and-throughput, which random weights time identically.
 #include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -25,6 +39,7 @@
 
 #include "models/lenet.hpp"
 #include "models/resnet.hpp"
+#include "runtime/net_server.hpp"
 #include "runtime/server.hpp"
 #include "tensor/rng.hpp"
 #include "util/cli.hpp"
@@ -34,6 +49,17 @@
 using namespace pecan;
 
 namespace {
+
+// Async-signal-safe stop flag: the handlers only set it; all draining runs
+// on ordinary threads that poll it.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
 
 struct ModelTraffic {
   const char* name;
@@ -58,6 +84,53 @@ void print_stats(runtime::Server& server, const char* when) {
   }
 }
 
+/// The drain-time report both modes end with: swap-surviving per-model
+/// deploy/shed counters next to the live engine totals.
+void print_final_counters(runtime::Server& server) {
+  std::printf("\nfinal per-model counters:\n");
+  std::printf("%-14s %4s %8s %7s %6s\n", "model", "gen", "requests", "deploys", "shed");
+  for (const std::string& name : server.models()) {
+    const runtime::ModelServerStats s = server.stats(name);
+    std::printf("%-14s %4llu %8llu %7llu %6llu\n", name.c_str(),
+                static_cast<unsigned long long>(s.generation),
+                static_cast<unsigned long long>(s.engine.requests),
+                static_cast<unsigned long long>(s.deploys),
+                static_cast<unsigned long long>(s.shed_total));
+  }
+}
+
+/// --listen mode: the three deployed models on a real socket until
+/// SIGINT/SIGTERM, then graceful drain.
+int serve_forever(runtime::Server& server, const std::string& host, std::uint16_t port,
+                  int executors) {
+  runtime::NetServerConfig net_config;
+  net_config.host = host;
+  net_config.port = port;
+  net_config.executors = executors;
+  runtime::NetServer net(server, net_config);
+  net.start();
+  std::printf("listening on %s:%u (SIGINT/SIGTERM to drain)\n", net.host().c_str(),
+              static_cast<unsigned>(net.port()));
+  std::fflush(stdout);
+
+  while (!g_stop) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("\nsignal received: draining (stop accepting, flush in-flight replies)...\n");
+  net.stop();
+  const runtime::NetServerStats net_stats = net.stats();
+  std::printf("wire totals: %llu conns, %llu frames, %llu ok / %llu error replies "
+              "(%llu shed), %llu decode errors\n",
+              static_cast<unsigned long long>(net_stats.connections_accepted),
+              static_cast<unsigned long long>(net_stats.frames),
+              static_cast<unsigned long long>(net_stats.replies_ok),
+              static_cast<unsigned long long>(net_stats.replies_error),
+              static_cast<unsigned long long>(net_stats.sheds),
+              static_cast<unsigned long long>(net_stats.decode_errors));
+  print_final_counters(server);
+  server.shutdown();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,10 +138,17 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(args.get_int("threads", 2));
   const std::int64_t requests = args.get_int("requests", 48);
   const int clients = static_cast<int>(args.get_int("clients", 2));
+  const bool listen = args.has("listen");
+  const auto listen_port = static_cast<std::uint16_t>(args.get_int("listen", 0));
+  const std::string host = args.get("host", "127.0.0.1");
+  const int net_workers = static_cast<int>(args.get_int("net-workers", 2));
   util::set_global_threads(threads);
+  install_signal_handlers();
 
-  std::printf("model_server demo: %d clients/model x %lld requests, %d kernel threads\n", clients,
-              static_cast<long long>(requests), threads);
+  if (!listen) {
+    std::printf("model_server demo: %d clients/model x %lld requests, %d kernel threads\n",
+                clients, static_cast<long long>(requests), threads);
+  }
 
   // --- 1. deploy three models ------------------------------------------------
   runtime::Server server;
@@ -92,6 +172,9 @@ int main(int argc, char** argv) {
   for (const std::string& name : server.models()) std::printf(" %s", name.c_str());
   std::printf("\n");
 
+  // --- network serving mode --------------------------------------------------
+  if (listen) return serve_forever(server, host, listen_port, net_workers);
+
   // --- 2. concurrent traffic + 3. a hot-swap in the middle -------------------
   ModelTraffic traffic[3] = {{"lenet5-d", {1, 28, 28}},
                              {"lenet5-a.cam", {1, 28, 28}},
@@ -104,9 +187,11 @@ int main(int argc, char** argv) {
         Rng data_rng(1000 + c);
         std::vector<std::future<Tensor>> futures;
         futures.reserve(static_cast<std::size_t>(requests));
-        for (std::int64_t r = 0; r < requests; ++r) {
+        for (std::int64_t r = 0; r < requests && !g_stop; ++r) {
           futures.push_back(server.submit(t.name, data_rng.randn(t.sample_shape)));
         }
+        // A signal stops NEW submissions; everything already accepted still
+        // completes below — that is the graceful part of the drain.
         for (auto& future : futures) {
           future.get();
           t.served.fetch_add(1);
@@ -150,7 +235,7 @@ int main(int argc, char** argv) {
     burst.emplace_back([&, c] {
       Rng data_rng(2000 + c);
       std::vector<std::future<Tensor>> futures;
-      for (std::int64_t r = 0; r < requests; ++r) {
+      for (std::int64_t r = 0; r < requests && !g_stop; ++r) {
         try {
           futures.push_back(server.submit("lenet5-d", data_rng.randn({1, 28, 28})));
         } catch (const runtime::OverloadedError&) {
@@ -168,6 +253,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(burst_served.load()),
               static_cast<unsigned long long>(burst_shed.load()));
   print_stats(server, "after overload burst");
+  print_final_counters(server);
+  if (g_stop) std::printf("(drained early on signal — all accepted requests completed)\n");
 
   server.shutdown();
   for (const std::string& key : args.unused()) {

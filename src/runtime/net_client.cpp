@@ -1,0 +1,140 @@
+#include "runtime/net_client.hpp"
+
+#include <cerrno>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <utility>
+
+#include "runtime/engine.hpp"          // OverloadedError, EngineStoppedError
+#include "runtime/model_registry.hpp"  // UnknownModelError
+
+namespace pecan::runtime {
+
+namespace {
+
+[[noreturn]] void throw_status(wire::Status status, const std::string& message) {
+  const std::string what = std::string(wire::status_name(status)) + ": " + message;
+  switch (status) {
+    case wire::Status::Overloaded: throw OverloadedError(what);
+    case wire::Status::EngineStopped: throw EngineStoppedError(what);
+    case wire::Status::UnknownModel: throw UnknownModelError(what);
+    case wire::Status::BadRequest:
+    case wire::Status::BadFrame: throw std::invalid_argument(what);
+    default: throw std::runtime_error(what);
+  }
+}
+
+}  // namespace
+
+NetClient::NetClient(const std::string& host, std::uint16_t port, int timeout_ms)
+    : fd_(util::tcp_connect(host, port, timeout_ms)) {}
+
+std::uint64_t NetClient::send_frame(wire::Opcode op, const std::string& model,
+                                    const Tensor* tensor, std::string_view text) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> out;
+  if (tensor != nullptr) {
+    wire::encode_tensor_frame(out, op, wire::Status::Ok, id, model, *tensor);
+  } else {
+    wire::encode_frame(out, op, wire::Status::Ok, id, model, text);
+  }
+  std::lock_guard<std::mutex> lock(send_mutex_);
+  if (!fd_.valid()) throw std::runtime_error("NetClient: connection closed");
+  if (!util::send_all(fd_.get(), out.data(), out.size())) {
+    throw std::runtime_error("NetClient: server closed the connection mid-send");
+  }
+  return id;
+}
+
+std::uint64_t NetClient::send_infer(const std::string& model, const Tensor& sample) {
+  return send_frame(wire::Opcode::Infer, model, &sample, {});
+}
+
+std::uint64_t NetClient::send_infer_batch(const std::string& model, const Tensor& batch) {
+  return send_frame(wire::Opcode::InferBatch, model, &batch, {});
+}
+
+std::uint64_t NetClient::send_ping() { return send_frame(wire::Opcode::Ping, {}, nullptr, {}); }
+
+NetClient::Reply NetClient::recv() {
+  std::lock_guard<std::mutex> lock(recv_mutex_);
+  std::uint8_t buf[64 * 1024];
+  wire::FrameView frame;
+  for (;;) {
+    switch (decoder_.next(frame)) {
+      case wire::Decoder::Result::Frame: {
+        Reply reply;
+        reply.request_id = frame.request_id;
+        reply.opcode = frame.opcode;
+        reply.status = frame.status;
+        if (reply.status == wire::Status::Ok &&
+            (frame.opcode == wire::Opcode::Infer || frame.opcode == wire::Opcode::InferBatch)) {
+          reply.tensor = wire::decode_tensor(frame.payload, frame.payload_len);
+        } else {
+          reply.text.assign(frame.payload_text());
+        }
+        return reply;
+      }
+      case wire::Decoder::Result::Error:
+        throw std::runtime_error("NetClient: undecodable reply stream: " + decoder_.error());
+      case wire::Decoder::Result::NeedMore: {
+        if (!fd_.valid()) throw std::runtime_error("NetClient: connection closed");
+        const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          throw std::runtime_error("NetClient: recv failed");
+        }
+        if (n == 0) throw std::runtime_error("NetClient: server closed the connection");
+        decoder_.feed(buf, static_cast<std::size_t>(n));
+        break;
+      }
+    }
+  }
+}
+
+NetClient::Reply NetClient::recv_for(std::uint64_t request_id) {
+  // Sync path: with no concurrent pipelined traffic the next reply IS ours;
+  // the id check catches misuse rather than reordering.
+  Reply reply = recv();
+  if (reply.request_id != request_id) {
+    throw std::runtime_error("NetClient: reply id " + std::to_string(reply.request_id) +
+                             " does not match request " + std::to_string(request_id) +
+                             " (sync call mixed with pipelined traffic?)");
+  }
+  if (reply.status != wire::Status::Ok) throw_status(reply.status, reply.text);
+  return reply;
+}
+
+Tensor NetClient::infer(const std::string& model, const Tensor& sample) {
+  return recv_for(send_infer(model, sample)).tensor;
+}
+
+Tensor NetClient::infer_batch(const std::string& model, const Tensor& batch) {
+  return recv_for(send_infer_batch(model, batch)).tensor;
+}
+
+void NetClient::ping() { recv_for(send_ping()); }
+
+std::vector<std::string> NetClient::list_models() {
+  const Reply reply = recv_for(send_frame(wire::Opcode::ListModels, {}, nullptr, {}));
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start < reply.text.size()) {
+    std::size_t end = reply.text.find('\n', start);
+    if (end == std::string::npos) end = reply.text.size();
+    names.push_back(reply.text.substr(start, end - start));
+    start = end + 1;
+  }
+  return names;
+}
+
+std::string NetClient::stats_json(const std::string& model) {
+  return recv_for(send_frame(wire::Opcode::Stats, model, nullptr, {})).text;
+}
+
+std::uint64_t NetClient::deploy(const std::string& name, const std::string& path) {
+  const Reply reply = recv_for(send_frame(wire::Opcode::Deploy, name, nullptr, path));
+  return std::stoull(reply.text);
+}
+
+}  // namespace pecan::runtime

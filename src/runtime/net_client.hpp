@@ -1,0 +1,90 @@
+// runtime::NetClient — a small blocking client for the NetServer wire
+// protocol, shared by the loopback tests and the load-generator bench.
+//
+// Two usage styles over one TCP connection:
+//
+//   * Synchronous conveniences — infer(), infer_batch(), ping(), stats(),
+//     list_models(), deploy() each send one request and block for its reply,
+//     mapping error statuses back onto the serving stack's exception types
+//     (OVERLOADED → OverloadedError, ENGINE_STOPPED → EngineStoppedError,
+//     UNKNOWN_MODEL → UnknownModelError, BAD_REQUEST/BAD_FRAME →
+//     std::invalid_argument, INTERNAL_ERROR → std::runtime_error) so client
+//     code can reuse the catch sites it already has for in-process serving.
+//     These assume no concurrent pipelined traffic on the same connection.
+//
+//   * Pipelined — send_infer()/send_ping() enqueue requests without waiting
+//     and recv() blocks for the next reply (matched to its request by the
+//     echoed request_id). One sender thread plus one receiver thread per
+//     connection is supported (send and recv paths lock independently; full-
+//     duplex socket use is safe) — exactly what a coordinated-omission-free
+//     open-loop load generator needs: the sender keeps the arrival schedule
+//     regardless of how far replies lag.
+//
+// The destructor closes the connection; a server-side drain then flushes any
+// in-flight replies first (NetServer's graceful-stop contract).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/wire.hpp"
+#include "tensor/tensor.hpp"
+#include "util/socket.hpp"
+
+namespace pecan::runtime {
+
+class NetClient {
+ public:
+  /// One fully decoded reply frame (owning copies — safe to keep).
+  struct Reply {
+    std::uint64_t request_id = 0;
+    wire::Opcode opcode = wire::Opcode::Ping;
+    wire::Status status = wire::Status::Ok;
+    Tensor tensor;     ///< Ok INFER/INFER_BATCH payload
+    std::string text;  ///< any other payload (stats JSON, names, error message)
+  };
+
+  /// Connects (bounded wait) with TCP_NODELAY. Throws on refusal/timeout.
+  NetClient(const std::string& host, std::uint16_t port, int timeout_ms = 5000);
+  ~NetClient() = default;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Pipelined path --------------------------------------------------------
+  std::uint64_t send_infer(const std::string& model, const Tensor& sample);
+  std::uint64_t send_infer_batch(const std::string& model, const Tensor& batch);
+  std::uint64_t send_ping();
+  /// Blocks for the next reply frame (any request). Throws
+  /// std::runtime_error when the server closes the connection.
+  Reply recv();
+
+  // Synchronous path ------------------------------------------------------
+  Tensor infer(const std::string& model, const Tensor& sample);
+  Tensor infer_batch(const std::string& model, const Tensor& batch);
+  void ping();
+  std::vector<std::string> list_models();
+  std::string stats_json(const std::string& model);
+  /// Asks the server to load + deploy the artifact at `path` (a path on the
+  /// SERVER's filesystem) under `name`. Returns the new generation.
+  std::uint64_t deploy(const std::string& name, const std::string& path);
+
+  void close() { fd_.reset(); }
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  std::uint64_t send_frame(wire::Opcode op, const std::string& model, const Tensor* tensor,
+                           std::string_view text);
+  /// Blocks for the reply to `request_id`; throws the mapped exception on a
+  /// non-Ok status. Sync path only.
+  Reply recv_for(std::uint64_t request_id);
+
+  util::Fd fd_;
+  wire::Decoder decoder_;
+  std::mutex send_mutex_, recv_mutex_;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace pecan::runtime

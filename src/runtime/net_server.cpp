@@ -1,0 +1,616 @@
+#include "runtime/net_server.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+#include "runtime/model_registry.hpp"
+#include "util/timer.hpp"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define PECAN_HAVE_EPOLL 1
+#endif
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace pecan::runtime {
+
+// ------------------------------------------------------------------ plumbing
+
+/// One live client connection. The reactor owns the fd, the decoder, and the
+/// poller-interest mirrors (reactor-thread only); executors touch only the
+/// mutex-guarded write queue and the atomic closed flag.
+struct NetServer::Conn {
+  Conn(int raw_fd, std::size_t max_frame) : fd(raw_fd), decoder(max_frame) {}
+
+  util::Fd fd;
+  wire::Decoder decoder;
+
+  std::mutex write_mutex;
+  std::deque<std::vector<std::uint8_t>> write_queue;
+  std::size_t write_offset = 0;  ///< bytes of the front buffer already sent
+
+  std::atomic<bool> closed{false};
+
+  // Reactor-thread state.
+  bool reading = true;           ///< false once draining or stream-poisoned
+  bool want_write = false;       ///< poller write-interest mirror
+  bool close_after_flush = false;
+};
+
+/// One work-bearing request in flight between reactor and executors.
+struct NetServer::Job {
+  std::shared_ptr<Conn> conn;
+  wire::Opcode opcode = wire::Opcode::Ping;
+  std::uint64_t request_id = 0;
+  std::string model;
+  Tensor tensor;     ///< INFER / INFER_BATCH payload
+  std::string text;  ///< DEPLOY artifact path
+};
+
+/// Readiness-notification backend: epoll where available, poll() otherwise.
+/// Reactor-thread only.
+class NetServer::Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+  virtual ~Poller() = default;
+  virtual void add(int fd, bool rd, bool wr) = 0;
+  virtual void mod(int fd, bool rd, bool wr) = 0;
+  virtual void del(int fd) = 0;
+  virtual void wait(std::vector<Event>& out, int timeout_ms) = 0;
+};
+
+#ifdef PECAN_HAVE_EPOLL
+class NetServer::EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(0)) {
+    if (!epfd_.valid()) throw std::runtime_error("epoll_create1 failed");
+  }
+  void add(int fd, bool rd, bool wr) override { ctl(EPOLL_CTL_ADD, fd, rd, wr); }
+  void mod(int fd, bool rd, bool wr) override { ctl(EPOLL_CTL_MOD, fd, rd, wr); }
+  void del(int fd) override { ::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, nullptr); }
+  void wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    epoll_event events[64];
+    const int n = ::epoll_wait(epfd_.get(), events, 64, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & EPOLLERR) != 0;
+      out.push_back(ev);
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, bool rd, bool wr) {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    ev.events = (rd ? EPOLLIN : 0u) | (wr ? EPOLLOUT : 0u);
+    if (::epoll_ctl(epfd_.get(), op, fd, &ev) != 0) {
+      throw std::runtime_error(std::string("epoll_ctl failed: ") + std::strerror(errno));
+    }
+  }
+  util::Fd epfd_;
+};
+#endif
+
+class NetServer::PollPoller final : public Poller {
+ public:
+  void add(int fd, bool rd, bool wr) override { interest_[fd] = events(rd, wr); }
+  void mod(int fd, bool rd, bool wr) override { interest_[fd] = events(rd, wr); }
+  void del(int fd) override { interest_.erase(fd); }
+  void wait(std::vector<Event>& out, int timeout_ms) override {
+    out.clear();
+    fds_.clear();
+    for (const auto& [fd, ev] : interest_) fds_.push_back({fd, ev, 0});
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      Event ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(ev);
+    }
+  }
+
+ private:
+  static short events(bool rd, bool wr) {
+    return static_cast<short>((rd ? POLLIN : 0) | (wr ? POLLOUT : 0));
+  }
+  std::map<int, short> interest_;
+  std::vector<pollfd> fds_;
+};
+
+// ----------------------------------------------------------------- lifecycle
+
+NetServer::NetServer(Server& server, NetServerConfig config)
+    : server_(server), config_(std::move(config)) {
+  if (config_.executors < 1) {
+    throw std::invalid_argument("NetServer: executors must be >= 1");
+  }
+}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::start() {
+  if (started_.exchange(true)) throw std::logic_error("NetServer::start: already started");
+
+  port_ = config_.port;
+  listen_fd_.reset(util::tcp_listen(config_.host, port_, /*backlog=*/128));
+  util::set_nonblocking(listen_fd_.get(), true);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error(std::string("NetServer: pipe failed: ") + std::strerror(errno));
+  }
+  wake_read_.reset(pipe_fds[0]);
+  wake_write_.reset(pipe_fds[1]);
+  util::set_nonblocking(wake_read_.get(), true);
+  util::set_nonblocking(wake_write_.get(), true);
+
+#ifdef PECAN_HAVE_EPOLL
+  if (config_.force_poll) {
+    poller_ = std::make_unique<PollPoller>();
+  } else {
+    poller_ = std::make_unique<EpollPoller>();
+  }
+#else
+  poller_ = std::make_unique<PollPoller>();
+#endif
+  poller_->add(listen_fd_.get(), /*rd=*/true, /*wr=*/false);
+  poller_->add(wake_read_.get(), /*rd=*/true, /*wr=*/false);
+
+  running_.store(true, std::memory_order_release);
+  for (int i = 0; i < config_.executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+  reactor_ = std::thread([this] { reactor_loop(); });
+}
+
+void NetServer::stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  draining_.store(true, std::memory_order_release);
+  wake_reactor();
+  reactor_.join();
+  // No reader remains, so no new jobs; close() lets the executors finish the
+  // queued ones (their replies are dropped past the drain deadline — the
+  // conns are flagged closed) and exit.
+  jobs_.close();
+  for (std::thread& t : executors_) t.join();
+  executors_.clear();
+  poller_.reset();
+  wake_read_.reset();
+  wake_write_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+NetServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+// ------------------------------------------------------------------- reactor
+
+void NetServer::wake_reactor() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wake-up; errors are ignorable.
+  [[maybe_unused]] const ssize_t rc = ::write(wake_write_.get(), &byte, 1);
+}
+
+void NetServer::reactor_loop() {
+  std::vector<Poller::Event> events;
+  util::Timer drain_timer;
+  bool drain_started = false;
+
+  for (;;) {
+    // Flush connections executors just posted replies to.
+    std::vector<std::shared_ptr<Conn>> dirty;
+    {
+      std::lock_guard<std::mutex> lock(dirty_mutex_);
+      dirty.swap(dirty_);
+    }
+    for (const std::shared_ptr<Conn>& conn : dirty) {
+      if (conn->closed.load(std::memory_order_acquire)) continue;
+      if (!flush_writes(conn)) close_conn(conn);
+    }
+
+    if (draining_.load(std::memory_order_acquire)) {
+      if (!drain_started) {
+        drain_started = true;
+        drain_timer.reset();
+        // Stop accepting and stop reading: no new requests enter; in-flight
+        // ones keep executing and their replies keep flushing.
+        if (listen_fd_.valid()) {
+          poller_->del(listen_fd_.get());
+          listen_fd_.reset();
+        }
+        for (auto& [fd, conn] : conns_) {
+          conn->reading = false;
+          poller_->mod(fd, /*rd=*/false, conn->want_write);
+        }
+      }
+      bool flushed = true;
+      for (auto& [fd, conn] : conns_) {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (!conn->write_queue.empty()) {
+          flushed = false;
+          break;
+        }
+      }
+      const bool drained = in_flight_.load(std::memory_order_acquire) == 0 && flushed;
+      const bool expired =
+          drain_timer.elapsed_ms() >= static_cast<double>(config_.drain_timeout.count());
+      if (drained || expired) break;
+    }
+
+    poller_->wait(events, drain_started ? 10 : 200);
+    for (const Poller::Event& ev : events) {
+      if (listen_fd_.valid() && ev.fd == listen_fd_.get()) {
+        accept_ready();
+        continue;
+      }
+      if (ev.fd == wake_read_.get()) {
+        char buf[256];
+        while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      const auto it = conns_.find(ev.fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<Conn> conn = it->second;  // keep alive across handlers
+      if (ev.error) {
+        close_conn(conn);
+        continue;
+      }
+      if (ev.readable && conn->reading) handle_readable(conn);
+      if (conn->closed.load(std::memory_order_acquire)) continue;
+      if (ev.writable && !flush_writes(conn)) close_conn(conn);
+    }
+  }
+
+  // Drain finished (or deadline hit): tear every connection down. Executors
+  // that still hold a Conn see the closed flag and drop their replies.
+  for (auto& [fd, conn] : conns_) conn->closed.store(true, std::memory_order_release);
+  conns_.clear();
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN — accepted everything pending
+    }
+    try {
+      util::set_nonblocking(cfd, true);
+      util::set_tcp_nodelay(cfd);
+    } catch (const std::runtime_error&) {
+      ::close(cfd);
+      continue;
+    }
+    auto conn = std::make_shared<Conn>(cfd, config_.max_frame_bytes);
+    conns_[cfd] = conn;
+    poller_->add(cfd, /*rd=*/true, /*wr=*/false);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections_accepted;
+    ++stats_.connections_active;
+  }
+}
+
+void NetServer::close_conn(const std::shared_ptr<Conn>& conn) {
+  if (conn->closed.exchange(true, std::memory_order_acq_rel)) return;
+  const int fd = conn->fd.get();
+  poller_->del(fd);
+  conns_.erase(fd);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  --stats_.connections_active;
+}
+
+void NetServer::handle_readable(const std::shared_ptr<Conn>& conn) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n == 0) {  // peer closed
+      close_conn(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(conn);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+    }
+    conn->decoder.feed(buf, static_cast<std::size_t>(n));
+    wire::FrameView frame;
+    for (;;) {
+      const wire::Decoder::Result result = conn->decoder.next(frame);
+      if (result == wire::Decoder::Result::NeedMore) break;
+      if (result == wire::Decoder::Result::Frame) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.frames;
+        }
+        if (!handle_frame(conn, frame)) return;
+        continue;
+      }
+      // Stream poisoned: one clean BAD_FRAME reply (the promised alternative
+      // to a silently dropped connection), then flush and close.
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.decode_errors;
+      }
+      std::vector<std::uint8_t> reply;
+      wire::encode_frame(reply, wire::Opcode::Ping, wire::Status::BadFrame,
+                         conn->decoder.error_request_id(), {}, conn->decoder.error());
+      conn->reading = false;
+      conn->close_after_flush = true;
+      poller_->mod(conn->fd.get(), /*rd=*/false, conn->want_write);
+      post_reply(conn, std::move(reply), wire::Status::BadFrame);
+      return;
+    }
+    if (n < static_cast<ssize_t>(sizeof(buf))) return;  // socket drained
+  }
+}
+
+// Returns false when the connection was handed its last frame (poisoned
+// streams return through handle_readable instead; this path never closes).
+bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::FrameView& frame) {
+  std::vector<std::uint8_t> reply;
+  switch (frame.opcode) {
+    case wire::Opcode::Ping: {
+      wire::encode_frame(reply, wire::Opcode::Ping, wire::Status::Ok, frame.request_id, {});
+      post_reply(conn, std::move(reply), wire::Status::Ok);
+      return true;
+    }
+    case wire::Opcode::ListModels: {
+      std::string names;
+      for (const std::string& name : server_.models()) {
+        if (!names.empty()) names += '\n';
+        names += name;
+      }
+      wire::encode_frame(reply, frame.opcode, wire::Status::Ok, frame.request_id, {}, names);
+      post_reply(conn, std::move(reply), wire::Status::Ok);
+      return true;
+    }
+    case wire::Opcode::Stats: {
+      const std::string model(frame.model);
+      try {
+        const ModelServerStats s = server_.stats(model);
+        char buf[512];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"model\":\"%s\",\"generation\":%llu,\"deploys\":%llu,\"shed\":%llu,"
+                      "\"requests\":%llu,\"batches\":%llu,\"queue_depth\":%lld,"
+                      "\"in_flight\":%lld,\"p50_ms\":%.3f,\"p99_ms\":%.3f}",
+                      model.c_str(), static_cast<unsigned long long>(s.generation),
+                      static_cast<unsigned long long>(s.deploys),
+                      static_cast<unsigned long long>(s.shed_total),
+                      static_cast<unsigned long long>(s.engine.requests),
+                      static_cast<unsigned long long>(s.engine.batches),
+                      static_cast<long long>(s.engine.queue_depth),
+                      static_cast<long long>(s.engine.in_flight), s.engine.p50_ms,
+                      s.engine.p99_ms);
+        wire::encode_frame(reply, frame.opcode, wire::Status::Ok, frame.request_id, model,
+                           std::string_view(buf));
+        post_reply(conn, std::move(reply), wire::Status::Ok);
+      } catch (const UnknownModelError& e) {
+        wire::encode_frame(reply, frame.opcode, wire::Status::UnknownModel, frame.request_id,
+                           model, std::string_view(e.what()));
+        post_reply(conn, std::move(reply), wire::Status::UnknownModel);
+      }
+      return true;
+    }
+    case wire::Opcode::Infer:
+    case wire::Opcode::InferBatch: {
+      Job job;
+      job.conn = conn;
+      job.opcode = frame.opcode;
+      job.request_id = frame.request_id;
+      job.model.assign(frame.model);
+      try {
+        // Zero-copy hand-off: floats go from the connection buffer straight
+        // into the engine-ready sample/batch tensor.
+        job.tensor = wire::decode_tensor(frame.payload, frame.payload_len);
+      } catch (const std::invalid_argument& e) {
+        wire::encode_frame(reply, frame.opcode, wire::Status::BadRequest, frame.request_id,
+                           frame.model, std::string_view(e.what()));
+        post_reply(conn, std::move(reply), wire::Status::BadRequest);
+        return true;
+      }
+      dispatch(conn, std::move(job));
+      return true;
+    }
+    case wire::Opcode::Deploy: {
+      Job job;
+      job.conn = conn;
+      job.opcode = frame.opcode;
+      job.request_id = frame.request_id;
+      job.model.assign(frame.model);
+      job.text.assign(frame.payload_text());
+      dispatch(conn, std::move(job));
+      return true;
+    }
+  }
+  // Well-framed but unknown opcode: answer and keep the connection.
+  wire::encode_frame(reply, frame.opcode, wire::Status::BadRequest, frame.request_id, frame.model,
+                     "unknown opcode " +
+                         std::to_string(static_cast<std::uint16_t>(frame.opcode)));
+  post_reply(conn, std::move(reply), wire::Status::BadRequest);
+  return true;
+}
+
+// ----------------------------------------------------------------- executors
+
+void NetServer::dispatch(std::shared_ptr<Conn> conn, Job job) {
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (jobs_.push(job) != util::PushResult::Ok) {
+    // Only reachable if a frame sneaks in after drain started: answer
+    // honestly instead of dropping the request on the floor.
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    std::vector<std::uint8_t> reply;
+    wire::encode_frame(reply, job.opcode, wire::Status::EngineStopped, job.request_id, job.model,
+                       "server is draining");
+    post_reply(conn, std::move(reply), wire::Status::EngineStopped);
+  }
+}
+
+void NetServer::executor_loop() {
+  constexpr auto kNoCoalesce = [](const Job&, const Job&) { return false; };
+  std::vector<Job> batch;
+  for (;;) {
+    batch.clear();
+    if (jobs_.pop_batch(batch, 1, std::chrono::microseconds(0), 1, kNoCoalesce) == 0) {
+      return;  // queue closed and drained
+    }
+    execute(batch[0]);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void NetServer::execute(Job& job) {
+  std::vector<std::uint8_t> reply;
+  wire::Status status = wire::Status::Ok;
+  std::string message;
+  try {
+    switch (job.opcode) {
+      case wire::Opcode::Infer: {
+        Tensor logits = server_.submit(job.model, std::move(job.tensor)).get();
+        wire::encode_tensor_frame(reply, job.opcode, wire::Status::Ok, job.request_id, job.model,
+                                  logits);
+        break;
+      }
+      case wire::Opcode::InferBatch: {
+        Tensor logits = server_.forward_batch(job.model, job.tensor);
+        wire::encode_tensor_frame(reply, job.opcode, wire::Status::Ok, job.request_id, job.model,
+                                  logits);
+        break;
+      }
+      case wire::Opcode::Deploy: {
+        const std::uint64_t generation =
+            server_.deploy_file(job.model, job.text, config_.deploy_config);
+        wire::encode_frame(reply, job.opcode, wire::Status::Ok, job.request_id, job.model,
+                           std::to_string(generation));
+        break;
+      }
+      default:
+        status = wire::Status::InternalError;
+        message = "executor received non-work opcode";
+        break;
+    }
+  } catch (const OverloadedError& e) {
+    status = wire::Status::Overloaded;
+    message = e.what();
+  } catch (const EngineStoppedError& e) {
+    status = wire::Status::EngineStopped;
+    message = e.what();
+  } catch (const UnknownModelError& e) {
+    status = wire::Status::UnknownModel;
+    message = e.what();
+  } catch (const std::invalid_argument& e) {
+    status = wire::Status::BadRequest;
+    message = e.what();
+  } catch (const std::exception& e) {
+    status = wire::Status::InternalError;
+    message = e.what();
+  }
+  if (status != wire::Status::Ok) {
+    reply.clear();
+    wire::encode_frame(reply, job.opcode, status, job.request_id, job.model, message);
+  }
+  post_reply(job.conn, std::move(reply), status);
+}
+
+// ------------------------------------------------------------------- replies
+
+void NetServer::post_reply(const std::shared_ptr<Conn>& conn, std::vector<std::uint8_t> bytes,
+                           wire::Status status) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (status == wire::Status::Ok) {
+      ++stats_.replies_ok;
+    } else {
+      ++stats_.replies_error;
+      if (status == wire::Status::Overloaded) ++stats_.sheds;
+    }
+  }
+  if (conn->closed.load(std::memory_order_acquire)) return;  // peer already gone
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    conn->write_queue.push_back(std::move(bytes));
+  }
+  {
+    std::lock_guard<std::mutex> lock(dirty_mutex_);
+    dirty_.push_back(conn);
+  }
+  wake_reactor();
+}
+
+bool NetServer::flush_writes(const std::shared_ptr<Conn>& conn) {
+  const int fd = conn->fd.get();
+  std::size_t sent_total = 0;
+  bool alive = true;
+  bool empty;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    while (!conn->write_queue.empty()) {
+      const std::vector<std::uint8_t>& front = conn->write_queue.front();
+      const std::size_t remaining = front.size() - conn->write_offset;
+      const ssize_t n =
+          ::send(fd, front.data() + conn->write_offset, remaining, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // kernel buffer full
+        alive = false;  // EPIPE/ECONNRESET — slow client died
+        break;
+      }
+      sent_total += static_cast<std::size_t>(n);
+      conn->write_offset += static_cast<std::size_t>(n);
+      if (conn->write_offset == front.size()) {
+        conn->write_queue.pop_front();
+        conn->write_offset = 0;
+      }
+    }
+    empty = conn->write_queue.empty();
+  }
+  if (sent_total > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.bytes_out += sent_total;
+  }
+  if (!alive) return false;
+  if (empty) {
+    if (conn->close_after_flush) return false;  // error reply delivered; close
+    if (conn->want_write) {
+      conn->want_write = false;
+      poller_->mod(fd, conn->reading, false);
+    }
+  } else if (!conn->want_write) {
+    conn->want_write = true;
+    poller_->mod(fd, conn->reading, true);
+  }
+  return true;
+}
+
+}  // namespace pecan::runtime

@@ -1,0 +1,171 @@
+// runtime::NetServer — the TCP wire-protocol front door over runtime::Server.
+//
+// After PRs 1–5 the serving stack (engine micro-batching, registry hot-swap,
+// admission control, sharded batches) was only reachable in-process; every
+// throughput number was a thread-pool simulation. NetServer puts a real
+// socket boundary in front of it, speaking the length-prefixed binary
+// protocol of runtime/wire.hpp.
+//
+// Architecture — one reactor, W executors, replies multiplexed:
+//
+//   * Reactor thread. A non-blocking accept loop plus per-connection reads,
+//     driven by epoll on Linux (poll() fallback elsewhere, or on request via
+//     NetServerConfig::force_poll). The reactor decodes frames straight out
+//     of each connection's receive buffer — for INFER/INFER_BATCH the
+//     payload floats land directly in the engine-ready Tensor (one
+//     socket-buffer→tensor copy, no intermediate frame or batch assembly;
+//     the fused im2col_tile path downstream means no contiguous batch tensor
+//     is ever materialized for CAM layers). Trivial opcodes (PING,
+//     LIST_MODELS, STATS) are answered inline; work-bearing ones (INFER,
+//     INFER_BATCH, DEPLOY) are handed to the executor pool through a
+//     util::BoundedQueue so a slow forward never stalls the event loop.
+//
+//   * Executor threads. Each pops a request, drives the Server (submit +
+//     future wait — so the engines' micro-batching coalesces requests
+//     ACROSS connections — or forward_batch / deploy_file), maps the
+//     serving stack's typed exceptions onto wire statuses (OverloadedError
+//     → OVERLOADED, EngineStoppedError → ENGINE_STOPPED, UnknownModelError
+//     → UNKNOWN_MODEL, std::invalid_argument → BAD_REQUEST), and posts the
+//     encoded reply to the connection's write queue.
+//
+//   * Multiplexed responses. Replies are queued per connection and flushed
+//     by the reactor only when the socket is writable — a client that stops
+//     reading stalls ONLY its own queue, never the reactor or other
+//     connections. Replies carry the request's id, so one connection can
+//     pipeline many requests and match answers out of order.
+//
+//   * Torn/bad frames. Partial reads reassemble through wire::Decoder. A
+//     stream-poisoning frame (bad magic/version, oversized length) gets one
+//     BAD_FRAME error reply, then the connection is flushed and closed —
+//     never silently dropped. A well-framed but invalid request (unknown
+//     opcode, malformed tensor, wrong shape) gets its error status and the
+//     connection stays open.
+//
+//   * Graceful drain. stop() closes the listen socket, stops reading from
+//     every connection, lets in-flight requests finish and their replies
+//     flush, then closes connections and joins threads — bounded by
+//     NetServerConfig::drain_timeout so a wedged peer cannot hold shutdown
+//     hostage. Engine hot-swap needs nothing from this layer: the registry's
+//     lease semantics already drain the retired engine under live traffic.
+//
+// The NetServer borrows the Server (not owned); the Server must outlive it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/server.hpp"
+#include "runtime/wire.hpp"
+#include "util/bounded_queue.hpp"
+#include "util/socket.hpp"
+
+namespace pecan::runtime {
+
+struct NetServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral — read the bound port via port()
+  int executors = 2;       ///< request-execution threads (>= 1)
+  std::size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+  std::chrono::milliseconds drain_timeout{5000};  ///< stop() upper bound
+  bool force_poll = false;  ///< use the poll() backend even where epoll exists
+  /// Engine config applied to wire DEPLOY requests (execution path, batching,
+  /// admission control for models deployed over the network).
+  EngineConfig deploy_config{};
+};
+
+struct NetServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::int64_t connections_active = 0;
+  std::uint64_t frames = 0;          ///< well-formed frames decoded
+  std::uint64_t replies_ok = 0;      ///< replies sent with Status::Ok
+  std::uint64_t replies_error = 0;   ///< replies sent with any error status
+  std::uint64_t sheds = 0;           ///< OVERLOADED replies (admission control)
+  std::uint64_t decode_errors = 0;   ///< BAD_FRAME replies (connection closed)
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class NetServer {
+ public:
+  explicit NetServer(Server& server, NetServerConfig config = {});
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the reactor + executor threads. Throws on
+  /// bind/listen failure (port taken, bad host). Not restartable after
+  /// stop().
+  void start();
+
+  /// Graceful drain: stop accepting, finish in-flight requests, flush their
+  /// replies, close connections, join threads. Bounded by drain_timeout.
+  /// Idempotent; also invoked by the destructor.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (the ephemeral one when config.port was 0). Valid after
+  /// start().
+  std::uint16_t port() const { return port_; }
+  const std::string& host() const { return config_.host; }
+
+  NetServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct Job;
+  class Poller;
+  class EpollPoller;
+  class PollPoller;
+
+  void reactor_loop();
+  void executor_loop();
+  void accept_ready();
+  void handle_readable(const std::shared_ptr<Conn>& conn);
+  void handle_writable(const std::shared_ptr<Conn>& conn);
+  /// Decodes and routes one frame; returns false when the connection must
+  /// close (stream poisoned).
+  bool handle_frame(const std::shared_ptr<Conn>& conn, const wire::FrameView& frame);
+  void dispatch(std::shared_ptr<Conn> conn, Job job);
+  void execute(Job& job);
+  /// Thread-safe reply path used by executors AND the reactor: enqueues the
+  /// encoded frame on the connection and wakes the reactor to flush it.
+  void post_reply(const std::shared_ptr<Conn>& conn, std::vector<std::uint8_t> bytes,
+                  wire::Status status);
+  void wake_reactor();
+  void close_conn(const std::shared_ptr<Conn>& conn);
+  bool flush_writes(const std::shared_ptr<Conn>& conn);  ///< false = conn died
+
+  Server& server_;
+  NetServerConfig config_;
+  std::uint16_t port_ = 0;
+
+  util::Fd listen_fd_;
+  util::Fd wake_read_, wake_write_;  ///< self-pipe: executors wake the reactor
+  std::unique_ptr<Poller> poller_;
+
+  std::thread reactor_;
+  std::vector<std::thread> executors_;
+  util::BoundedQueue<Job> jobs_;
+  std::atomic<std::int64_t> in_flight_{0};  ///< dispatched jobs without a posted reply
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::mutex stop_mutex_;  ///< serializes stop() callers
+
+  std::map<int, std::shared_ptr<Conn>> conns_;  ///< reactor-thread only
+  std::mutex dirty_mutex_;
+  std::vector<std::shared_ptr<Conn>> dirty_;  ///< conns with freshly queued writes
+
+  mutable std::mutex stats_mutex_;
+  NetServerStats stats_;
+};
+
+}  // namespace pecan::runtime

@@ -37,6 +37,15 @@ std::uint64_t Server::deploy(const std::string& name, const ModelArtifact& artif
   return install(name, std::move(engine));
 }
 
+std::uint64_t Server::deploy_file(const std::string& name, const std::string& path,
+                                  EngineConfig config) {
+  // load_artifact throws before any engine exists, and deploy() compiles
+  // before touching the registry — so every failure mode leaves the
+  // currently serving generation in place.
+  const ModelArtifact artifact = load_artifact(path);
+  return deploy(name, artifact, std::move(config));
+}
+
 void Server::undeploy(const std::string& name) {
   std::shared_ptr<Engine> retired = registry_.erase(name);
   if (!retired) throw UnknownModelError("Server::undeploy: no model '" + name + "' is deployed");

@@ -86,6 +86,14 @@ class Server {
   std::uint64_t deploy(const std::string& name, const ModelArtifact& artifact,
                        EngineConfig config = {});
 
+  /// Loads a ModelArtifact from disk and deploys it — the single entry point
+  /// for the wire DEPLOY opcode and pull-based rollouts. Load, rebuild, and
+  /// compile all happen off the serving path; a failure at any stage
+  /// (missing file, corrupt artifact, PQ drift) throws and leaves the
+  /// registry untouched — the old generation keeps serving.
+  std::uint64_t deploy_file(const std::string& name, const std::string& path,
+                            EngineConfig config = {});
+
   /// Removes `name` from the registry. Outstanding leases drain on their
   /// owners' threads; subsequent requests throw UnknownModelError.
   void undeploy(const std::string& name);

@@ -1,0 +1,158 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <thread>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // non-Linux: callers must ignore SIGPIPE themselves
+#endif
+
+namespace pecan::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Numeric IPv4 only: the serving stack binds loopback or explicit
+    // addresses; name resolution stays out of the hot library.
+    throw std::runtime_error("socket: host must be a numeric IPv4 address, got '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+int tcp_listen(const std::string& host, std::uint16_t& port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("tcp_listen: socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    throw_errno("tcp_listen: SO_REUSEADDR");
+  }
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("tcp_listen: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("tcp_listen: listen");
+  if (port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      throw_errno("tcp_listen: getsockname");
+    }
+    port = ntohs(bound.sin_port);
+  }
+  return fd.release();
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("tcp_connect: socket");
+  set_nonblocking(fd.get(), true);
+  sockaddr_in addr = make_addr(host.empty() ? "127.0.0.1" : host, port);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) throw_errno("tcp_connect: connect " + host + ":" + std::to_string(port));
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) throw std::runtime_error("tcp_connect: timeout to " + host + ":" + std::to_string(port));
+    if (rc < 0) throw_errno("tcp_connect: poll");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw_errno("tcp_connect: SO_ERROR");
+    }
+    if (err != 0) {
+      errno = err;
+      throw_errno("tcp_connect: connect " + host + ":" + std::to_string(port));
+    }
+  }
+  set_nonblocking(fd.get(), false);
+  set_tcp_nodelay(fd.get());
+  return fd.release();
+}
+
+void set_nonblocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("set_nonblocking: F_GETFL");
+  const int next = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) throw_errno("set_nonblocking: F_SETFL");
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    throw_errno("set_tcp_nodelay");
+  }
+}
+
+bool wait_port_ready(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    try {
+      Fd probe(tcp_connect(host, port, 200));
+      return true;
+    } catch (const std::runtime_error&) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+bool send_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw_errno("send_all");
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool recv_exact(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return false;
+      throw_errno("recv_exact");
+    }
+    if (got == 0) return false;  // peer closed
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace pecan::util

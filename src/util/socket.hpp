@@ -1,0 +1,79 @@
+// Minimal POSIX TCP helpers — the socket substrate of runtime::NetServer
+// and runtime::NetClient.
+//
+// Everything here is a thin, error-checked wrapper over the BSD socket API:
+// an RAII fd owner, listen/connect with explicit host:port, non-blocking
+// mode toggles, TCP_NODELAY (the serving protocol is request/response at
+// millisecond scale — Nagle + delayed ACK would dominate every latency
+// number), and a retry-connect readiness probe used by tests, the load
+// generator, and the CI loopback smoke job to wait for a server process to
+// come up without sleeping a fixed amount.
+//
+// All functions throw std::runtime_error with errno context on failure;
+// send_all/recv_exact return false on a peer close instead (that is a
+// normal event for a network server, not a programming error).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pecan::util {
+
+/// Move-only RAII owner of a POSIX file descriptor. -1 = empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens a TCP socket on host:port (SO_REUSEADDR). When `port` is
+/// 0 the kernel picks an ephemeral port and `port` is updated to the bound
+/// one. Returns the listening fd (caller owns it).
+int tcp_listen(const std::string& host, std::uint16_t& port, int backlog = 128);
+
+/// Connects to host:port with a bounded wait (non-blocking connect + poll),
+/// then returns a BLOCKING fd with TCP_NODELAY set. Throws on refusal or
+/// timeout.
+int tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms = 5000);
+
+void set_nonblocking(int fd, bool enable);
+void set_tcp_nodelay(int fd);
+
+/// Retry-connect probe: true once a connect() to host:port succeeds within
+/// `timeout_ms` (the probe connection is closed immediately). The readiness
+/// gate for "server process just started" in tests and CI.
+bool wait_port_ready(const std::string& host, std::uint16_t port, int timeout_ms = 5000);
+
+/// Blocking write of the full buffer (handles short writes and EINTR;
+/// SIGPIPE suppressed). Returns false when the peer closed the connection.
+bool send_all(int fd, const void* data, std::size_t n);
+
+/// Blocking read of exactly n bytes (handles short reads and EINTR).
+/// Returns false on EOF before n bytes arrived.
+bool recv_exact(int fd, void* data, std::size_t n);
+
+}  // namespace pecan::util
