@@ -38,6 +38,12 @@ struct Row {
   double scalar = -1.0;   ///< "before" kernel rate; < 0 when not applicable
   double blocked = -1.0;  ///< "after" kernel rate
   double gb_per_s = -1.0; ///< effective bandwidth of the blocked kernel
+  // Absolute CI floors emitted as the row's "gate" object (check_bench.py
+  // enforces them on top of the ratio check when the row is gated). Kept
+  // far below the recorded full-run values so --smoke noise cannot trip
+  // them; < 0 means no floor.
+  double gate_min_speedup = -1.0;
+  double gate_min_gb = -1.0;
   double speedup() const { return scalar > 0 && blocked > 0 ? blocked / scalar : -1.0; }
 };
 
@@ -107,6 +113,96 @@ Row bench_cam_search(cam::SearchMetric metric, std::int64_t p, std::int64_t d, s
   row.blocked = blocked_rate * static_cast<double>(len);
   // Per search the scan touches the full word array plus the query.
   row.gb_per_s = row.blocked * static_cast<double>((p * d + d) * 4) / 1e9;
+  return row;
+}
+
+// Quantized CAM search vs the blocked FLOAT kernel in the same process: the
+// "scalar" side here is deliberately the float32 search_block, so the row's
+// speedup reads "int8/binary over float spec" — the number the quantized
+// operating point has to justify — and stays hardware-portable the same way
+// the other ratio rows do. Rows are qcam/-prefixed so CI can gate exactly
+// this family (check_bench.py --gate-prefix qcam/) with absolute floors.
+Row bench_qcam_search(cam::SearchMetric metric, cam::CamPrecision prec, std::int64_t p,
+                      std::int64_t d, std::int64_t len, double min_time) {
+  Rng rng(static_cast<std::uint64_t>(p * 100 + d));
+  cam::CamArray array(rng.randn({p, d}), metric);
+  array.prepare_quantized(prec);
+  Tensor cols = rng.randn({d, len});
+  cam::OpCounter counter;
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(len));
+  std::vector<float> qtile(static_cast<std::size_t>(d * cam::kCamTileMax));
+  const auto sweep = [&](cam::CamPrecision pr) {
+    for (std::int64_t l0 = 0; l0 < len; l0 += cam::kCamTileMax) {
+      const std::int64_t lb = std::min<std::int64_t>(cam::kCamTileMax, len - l0);
+      nn::pack_cols_tile(cols.data(), len, d, l0, lb, qtile.data());
+      array.search_block(qtile.data(), lb, hits.data() + l0, counter, pr);
+    }
+    g_sink = static_cast<float>(hits[0]);
+  };
+  const double float_rate = rate([&] { sweep(cam::CamPrecision::Float32); }, min_time);
+  const double quant_rate = rate([&] { sweep(prec); }, min_time);
+
+  const bool l1 = metric == cam::SearchMetric::L1BestMatch;
+  Row row;
+  row.name = std::string("qcam/") + cam::precision_name(prec) + (l1 ? "_l1" : "_dot") + "_p" +
+             std::to_string(p) + "_d" + std::to_string(d);
+  row.unit = "searches/s";
+  row.scalar = float_rate * static_cast<double>(len);
+  row.blocked = quant_rate * static_cast<double>(len);
+  // Bytes actually touched per search by the quantized scan: uint8 codes
+  // (words + query) for int8, packed uint64 sign words for binary.
+  const double bytes = prec == cam::CamPrecision::Binary
+                           ? static_cast<double>((p + 1) * ((d + 63) / 64) * 8)
+                           : static_cast<double>((p + 1) * d);
+  row.gb_per_s = row.blocked * bytes / 1e9;
+  return row;
+}
+
+// Fused search->accumulate epilogue vs the two-pass pipeline it replaces
+// (search_block into an int64 hits array, then LutMemory::accumulate_block
+// re-reading it). Both sides include the tile pack, so the speedup isolates
+// exactly what fusion buys: no hits round-trip through memory, no per-hit
+// bounds re-check in the LUT sweep.
+Row bench_fused_epilogue(cam::CamPrecision prec, std::int64_t p, std::int64_t d,
+                         std::int64_t cout, std::int64_t len, double min_time) {
+  Rng rng(static_cast<std::uint64_t>(p * 100 + d + cout));
+  cam::CamArray array(rng.randn({p, d}), cam::SearchMetric::L1BestMatch);
+  array.prepare_quantized(prec);
+  cam::LutMemory lut(rng.randn({cout, p}));
+  cam::OpCounter counter;
+  Tensor out({cout, len});
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(len));
+  Tensor cols = rng.randn({d, len});
+  std::vector<float> qtile(static_cast<std::size_t>(d * cam::kCamTileMax));
+
+  const double two_pass_rate = rate(
+      [&] {
+        for (std::int64_t l0 = 0; l0 < len; l0 += cam::kCamTileMax) {
+          const std::int64_t lb = std::min<std::int64_t>(cam::kCamTileMax, len - l0);
+          nn::pack_cols_tile(cols.data(), len, d, l0, lb, qtile.data());
+          array.search_block(qtile.data(), lb, hits.data() + l0, counter, prec);
+          lut.accumulate_block(hits.data() + l0, lb, out.data() + l0, len, counter);
+        }
+        g_sink = out[0];
+      },
+      min_time);
+  const double fused_rate = rate(
+      [&] {
+        for (std::int64_t l0 = 0; l0 < len; l0 += cam::kCamTileMax) {
+          const std::int64_t lb = std::min<std::int64_t>(cam::kCamTileMax, len - l0);
+          nn::pack_cols_tile(cols.data(), len, d, l0, lb, qtile.data());
+          array.search_accumulate_block(qtile.data(), lb, lut, out.data() + l0, len, counter, prec);
+        }
+        g_sink = out[0];
+      },
+      min_time);
+
+  Row row;
+  row.name = std::string("qcam/fused_l1_") + cam::precision_name(prec) + "_p" + std::to_string(p) +
+             "_d" + std::to_string(d) + "_c" + std::to_string(cout);
+  row.unit = "searches/s";
+  row.scalar = two_pass_rate * static_cast<double>(len);
+  row.blocked = fused_rate * static_cast<double>(len);
   return row;
 }
 
@@ -340,6 +436,13 @@ void write_json(const std::string& path, const std::vector<Row>& rows, bool smok
     if (r.blocked >= 0) std::fprintf(f, ", \"blocked\": %.4g", r.blocked);
     if (r.speedup() >= 0) std::fprintf(f, ", \"speedup\": %.3g", r.speedup());
     if (r.gb_per_s >= 0) std::fprintf(f, ", \"gb_per_s\": %.4g", r.gb_per_s);
+    if (r.gate_min_speedup >= 0 || r.gate_min_gb >= 0) {
+      std::fprintf(f, ", \"gate\": {");
+      if (r.gate_min_speedup >= 0) std::fprintf(f, "\"min_speedup\": %.3g", r.gate_min_speedup);
+      if (r.gate_min_speedup >= 0 && r.gate_min_gb >= 0) std::fprintf(f, ", ");
+      if (r.gate_min_gb >= 0) std::fprintf(f, "\"min_gb_per_s\": %.3g", r.gate_min_gb);
+      std::fprintf(f, "}");
+    }
     std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -365,6 +468,70 @@ int main(int argc, char** argv) {
   rows.push_back(bench_cam_search(cam::SearchMetric::L1BestMatch, 8, 4, len, min_time));
   rows.push_back(bench_cam_search(cam::SearchMetric::DotProduct, 16, 9, len, min_time));
   rows.push_back(bench_cam_search(cam::SearchMetric::DotProduct, 8, 16, len, min_time));
+  // Quantized operating points, measured against the blocked float kernel.
+  // Floors: speedup-vs-float must stay comfortably above 1 even under smoke
+  // noise; GB/s floors catch a quantized path that stopped behaving like a
+  // narrow-lane scan (values are a fraction of the recorded full-run rates).
+  {
+    Row r = bench_qcam_search(cam::SearchMetric::L1BestMatch, cam::CamPrecision::Int8, 64, 9, len,
+                              min_time);
+    r.gate_min_speedup = 1.5;
+    r.gate_min_gb = 1.0;
+    rows.push_back(r);
+  }
+  {
+    Row r = bench_qcam_search(cam::SearchMetric::L1BestMatch, cam::CamPrecision::Int8, 32, 16, len,
+                              min_time);
+    r.gate_min_speedup = 1.5;
+    r.gate_min_gb = 1.0;
+    rows.push_back(r);
+  }
+  {
+    Row r = bench_qcam_search(cam::SearchMetric::L1BestMatch, cam::CamPrecision::Binary, 64, 9, len,
+                              min_time);
+    r.gate_min_speedup = 2.0;
+    r.gate_min_gb = 0.1;
+    rows.push_back(r);
+  }
+  {
+    Row r = bench_qcam_search(cam::SearchMetric::L1BestMatch, cam::CamPrecision::Binary, 32, 16,
+                              len, min_time);
+    r.gate_min_speedup = 2.0;
+    r.gate_min_gb = 0.1;
+    rows.push_back(r);
+  }
+  {
+    // The dot scan's win over float is modest (~1.1x full-run: VPMADDWD
+    // halves the multiplies but the float kernel was already FMA-bound,
+    // not bandwidth-bound). Floor below parity so smoke noise cannot trip
+    // it; it still catches a quantized dot path that collapsed.
+    Row r = bench_qcam_search(cam::SearchMetric::DotProduct, cam::CamPrecision::Int8, 16, 9, len,
+                              min_time);
+    r.gate_min_speedup = 0.8;
+    rows.push_back(r);
+  }
+  // Fused epilogue vs two-pass, float and both quantized planes: fusion must
+  // never lose to the pipeline it replaced.
+  {
+    Row r = bench_fused_epilogue(cam::CamPrecision::Float32, 32, 16, 128, len, min_time);
+    r.gate_min_speedup = 0.9;
+    rows.push_back(r);
+  }
+  {
+    Row r = bench_fused_epilogue(cam::CamPrecision::Float32, 64, 9, 128, len, min_time);
+    r.gate_min_speedup = 0.9;
+    rows.push_back(r);
+  }
+  {
+    Row r = bench_fused_epilogue(cam::CamPrecision::Int8, 32, 16, 128, len, min_time);
+    r.gate_min_speedup = 0.9;
+    rows.push_back(r);
+  }
+  {
+    Row r = bench_fused_epilogue(cam::CamPrecision::Binary, 32, 16, 128, len, min_time);
+    r.gate_min_speedup = 0.9;
+    rows.push_back(r);
+  }
   rows.push_back(bench_lut(128, 32, len, min_time));
   rows.push_back(bench_lut(512, 32, len, min_time));
   rows.push_back(bench_sgemm(64, min_time));

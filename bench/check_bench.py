@@ -16,10 +16,24 @@ shift ratios by tens of percent in either direction, which is why the gate
 only fires at 0.5x (measured smoke-vs-full drift on a native build stays
 within 0.7-1.5x).
 
+Per-row gate floors: a reference row may carry a ``"gate"`` object with
+``min_speedup`` and/or ``min_gb_per_s`` — ABSOLUTE floors the current run
+must clear on top of the ratio check. The quantized CAM rows use this: their
+speedup is measured against the blocked float kernel in the same process
+(int8/binary must stay genuinely faster than float, not just "not slower
+than last time"), and their GB/s floor catches a quantized path that fell
+off its narrow-lane memory behavior. Floors in the checked-in reference are
+deliberately far below the recorded full-run values so CI smoke-mode noise
+does not trip them.
+
 Kernels present in the reference but missing from the current run fail the
 gate too (coverage loss is a regression); kernels without a recorded speedup
 (pure-rate rows like im2col and the end-to-end img/s rows) are reported but
-never gated.
+never gated on ratio (a "gate" object still applies).
+
+Failures are reported as a named-row diff: every failing row is listed with
+the metric that failed, the floor/reference it was held to, and the measured
+value — not just the first mismatch.
 
 The same gate covers the serving bench: BENCH_runtime.json records the
 batch-sharding sweep of bench_runtime_throughput, whose `shard/...` rows
@@ -33,6 +47,8 @@ the RUNNER's parallelism, not the code, and must stay report-only.
 Usage:
   check_bench.py --current build/BENCH_kernels.json \
                  --reference BENCH_kernels.json [--min-ratio 0.5]
+  check_bench.py --current build/BENCH_kernels.json \
+                 --reference BENCH_kernels.json --gate-prefix qcam/
   check_bench.py --current build/BENCH_runtime_throughput.json \
                  --reference BENCH_runtime.json --gate-prefix shard/
 """
@@ -46,6 +62,60 @@ def load_results(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     return {row["name"]: row for row in data.get("results", [])}
+
+
+class RowFailure:
+    def __init__(self, name, metric, held_to, got):
+        self.name = name
+        self.metric = metric
+        self.held_to = held_to
+        self.got = got
+
+    def __str__(self):
+        return f"{self.name:<32} {self.metric:<14} floor {self.held_to:<22} got {self.got}"
+
+
+def check_row(name, ref_row, cur_row, min_ratio, failures):
+    """Applies the ratio gate and any per-row absolute floors; returns the
+    verdict string for the report table."""
+    ref_speedup = ref_row.get("speedup")
+    gate = ref_row.get("gate") or {}
+    if cur_row is None:
+        failures.append(RowFailure(name, "presence", "row must exist", "MISSING"))
+        return "FAIL (missing)"
+    verdict = "ok"
+
+    if ref_speedup is not None:
+        cur_speedup = cur_row.get("speedup")
+        if cur_speedup is None:
+            failures.append(RowFailure(name, "speedup", "value recorded in reference", "MISSING"))
+            return "FAIL (no speedup)"
+        ratio = cur_speedup / ref_speedup
+        if ratio < min_ratio:
+            failures.append(
+                RowFailure(name, "speedup ratio", f"{min_ratio} x ref {ref_speedup:.2f}",
+                           f"{cur_speedup:.2f} (ratio {ratio:.2f})"))
+            verdict = "FAIL"
+
+    min_speedup = gate.get("min_speedup")
+    if min_speedup is not None:
+        cur_speedup = cur_row.get("speedup")
+        if cur_speedup is None or cur_speedup < min_speedup:
+            failures.append(
+                RowFailure(name, "speedup", f">= {min_speedup}",
+                           "MISSING" if cur_speedup is None else f"{cur_speedup:.2f}"))
+            verdict = "FAIL"
+
+    min_gb = gate.get("min_gb_per_s")
+    if min_gb is not None:
+        cur_gb = cur_row.get("gb_per_s")
+        if cur_gb is None or cur_gb < min_gb:
+            failures.append(
+                RowFailure(name, "gb_per_s", f">= {min_gb}",
+                           "MISSING" if cur_gb is None else f"{cur_gb:.2f}"))
+            verdict = "FAIL"
+
+    return verdict
 
 
 def main():
@@ -63,7 +133,8 @@ def main():
         default="",
         help="only gate rows whose name starts with this prefix; everything "
         "else is report-only (use 'shard/' for BENCH_runtime.json, whose "
-        "non-shard speedups measure runner parallelism, not the code)",
+        "non-shard speedups measure runner parallelism, not the code; "
+        "'qcam/' gates just the quantized CAM rows and their floors)",
     )
     args = parser.parse_args()
 
@@ -71,37 +142,32 @@ def main():
     reference = load_results(args.reference)
 
     failures = []
-    print(f"{'kernel':<28} {'ref speedup':>12} {'cur speedup':>12} {'ratio':>7}  verdict")
+    print(f"{'kernel':<32} {'ref speedup':>12} {'cur speedup':>12} {'ratio':>7}  verdict")
     for name, ref_row in reference.items():
+        gated = not args.gate_prefix or name.startswith(args.gate_prefix)
         ref_speedup = ref_row.get("speedup")
-        if args.gate_prefix and not name.startswith(args.gate_prefix):
+        has_gate = ref_speedup is not None or ref_row.get("gate")
+        if not gated or not has_gate:
             status = "-" if name in current else "missing (not gated)"
-            print(f"{name:<28} {'-':>12} {'-':>12} {'-':>7}  {status}")
-            continue
-        if ref_speedup is None:
-            status = "-" if name in current else "missing (not gated)"
-            print(f"{name:<28} {'-':>12} {'-':>12} {'-':>7}  {status}")
+            print(f"{name:<32} {'-':>12} {'-':>12} {'-':>7}  {status}")
             continue
         cur_row = current.get(name)
-        if cur_row is None or cur_row.get("speedup") is None:
-            failures.append(f"{name}: present in reference but missing from current run")
-            print(f"{name:<28} {ref_speedup:>12.2f} {'MISSING':>12} {'-':>7}  FAIL")
-            continue
-        cur_speedup = cur_row["speedup"]
-        ratio = cur_speedup / ref_speedup
-        ok = ratio >= args.min_ratio
-        print(f"{name:<28} {ref_speedup:>12.2f} {cur_speedup:>12.2f} {ratio:>6.2f}x  "
-              f"{'ok' if ok else 'FAIL'}")
-        if not ok:
-            failures.append(
-                f"{name}: speedup {cur_speedup:.2f} < {args.min_ratio} x recorded "
-                f"{ref_speedup:.2f} (ratio {ratio:.2f})"
-            )
+        verdict = check_row(name, ref_row, cur_row, args.min_ratio, failures)
+        ref_s = f"{ref_speedup:.2f}" if ref_speedup is not None else "-"
+        cur_s = ("-" if cur_row is None or cur_row.get("speedup") is None
+                 else f"{cur_row['speedup']:.2f}")
+        ratio_s = "-"
+        if ref_speedup and cur_row is not None and cur_row.get("speedup") is not None:
+            ratio_s = f"{cur_row['speedup'] / ref_speedup:.2f}x"
+        print(f"{name:<32} {ref_s:>12} {cur_s:>12} {ratio_s:>7}  {verdict}")
 
     if failures:
-        print("\nbench regression gate FAILED:", file=sys.stderr)
+        print("\nbench regression gate FAILED — row diff:", file=sys.stderr)
+        print(f"  {'row':<32} {'metric':<14} {'held to':<28} measured", file=sys.stderr)
         for failure in failures:
-            print(f"  - {failure}", file=sys.stderr)
+            print(f"  {failure}", file=sys.stderr)
+        print(f"\n{len(failures)} failing check(s) across "
+              f"{len({f.name for f in failures})} row(s).", file=sys.stderr)
         return 1
     print(f"\nbench regression gate passed ({args.min_ratio}x tolerance).")
     return 0

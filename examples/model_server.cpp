@@ -142,6 +142,9 @@ int main(int argc, char** argv) {
   const auto listen_port = static_cast<std::uint16_t>(args.get_int("listen", 0));
   const std::string host = args.get("host", "127.0.0.1");
   const int net_workers = static_cast<int>(args.get_int("net-workers", 2));
+  // CAM operating point of the CAM-exported deploy (float32 | int8 | binary).
+  const cam::CamPrecision cam_precision =
+      cam::precision_from_name(args.get("cam-precision", "float32"));
   util::set_global_threads(threads);
   install_signal_handlers();
 
@@ -162,6 +165,7 @@ int main(int argc, char** argv) {
     Rng rng(19);
     runtime::EngineConfig cam = config;
     cam.path = runtime::ExecPath::Cam;  // CAM search + LUT accumulate export
+    cam.cam_precision = cam_precision;
     server.deploy("lenet5-a.cam", models::make_lenet5(models::Variant::PecanA, rng), cam);
   }
   {

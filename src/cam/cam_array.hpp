@@ -13,7 +13,9 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cam/op_counter.hpp"
@@ -21,7 +23,47 @@
 
 namespace pecan::cam {
 
+class LutMemory;
+
 enum class SearchMetric { L1BestMatch, DotProduct };
+
+/// Numeric operating point of a CAM search. Float32 is the bitwise spec;
+/// Int8 stores affine-quantized uint8 prototypes (queries are quantized
+/// per tile with the same scale/zero-point, so L1/dot scans run on 4x
+/// narrower lanes); Binary bit-packs prototype/query threshold-sign planes
+/// (thresholded at the array's mean stored value) into uint64 words and
+/// resolves the L1 best match via XOR+popcount Hamming distance (only
+/// meaningful for L1 — dot/softmax needs real magnitudes, so Angle-mode
+/// layers fall back to Int8).
+enum class CamPrecision { Float32, Int8, Binary };
+
+const char* precision_name(CamPrecision p);
+CamPrecision precision_from_name(const std::string& name);
+
+/// Affine uint8 quantization parameters of one CAM subspace:
+/// q(x) = clamp(round(x / scale) + zero_point, 0, 255). The zero point
+/// cancels in L1 distances; dot products correct for it with precomputed
+/// per-word code sums.
+struct AffineQuant {
+  float scale = 1.f;            ///< > 0 even for zero-range inputs
+  float inv_scale = 1.f;        ///< 1 / scale, precomputed: quantization is a hot loop
+  std::int32_t zero_point = 0;  ///< uint8 code of real zero
+};
+
+/// Min/max-derived params covering `values[0..n)`. A zero range (all-equal
+/// values, e.g. a pruned-to-one-word array) degenerates to scale=1 so the
+/// grid stays valid.
+AffineQuant affine_qparams(const float* values, std::int64_t n);
+
+/// Round-half-away-from-zero onto the uint8 grid. Multiply + truncate, no
+/// libm call: per-tile query quantization runs this d*lb times and must not
+/// cost more than the narrow-lane scan it enables.
+inline std::uint8_t affine_quantize(float v, const AffineQuant& q) {
+  const float r = v * q.inv_scale;
+  std::int32_t code = static_cast<std::int32_t>(r >= 0.f ? r + 0.5f : r - 0.5f) + q.zero_point;
+  code = code < 0 ? 0 : (code > 255 ? 255 : code);
+  return static_cast<std::uint8_t>(code);
+}
 
 /// Max columns per blocked search call. Sized so the per-tile scratch
 /// (distances, hits, packed queries) lives in L1 next to the word being
@@ -50,11 +92,56 @@ class CamArray {
   /// nn::pack_cols_tile). Scans every stored word across the whole tile with
   /// unit-stride inner loops and issues ONE relaxed atomic aggregate per
   /// call (cam_searches += lb, adds/muls += per-search cost * lb) plus one
-  /// usage-histogram atomic per *distinct* hit word. hits[l] is
+  /// usage-histogram atomic per *distinct* hit word. At Float32, hits[l] is
   /// bitwise-identical to search(query_l, ...) — same scan order, same
-  /// summation order, same lowest-index tie-break.
+  /// summation order, same lowest-index tie-break. Int8/Binary resolve the
+  /// same argmin/argmax over their quantized distances (deterministic, same
+  /// lowest-index tie-break) and require prepare_quantized() first.
   void search_block(const float* queries, std::int64_t lb, std::int64_t* hits,
-                    OpCounter& counter) const;
+                    OpCounter& counter, CamPrecision precision = CamPrecision::Float32) const;
+
+  /// Fused search -> LUT accumulate epilogue: resolves the tile's best
+  /// matches exactly like search_block (including usage recording and op
+  /// accounting) and immediately adds lut column hit[l] into column l of the
+  /// [cout, lb] output tile while the hit indices are still in registers —
+  /// no int64 hits round-trip through memory, no per-call bounds re-check in
+  /// the LUT. Output is bitwise-identical to search_block followed by
+  /// LutMemory::accumulate_block (same row sweep, same add order), and the
+  /// counter sees the same totals (adds += cout*lb, lut_reads += lb on top
+  /// of the search cost). lut.entries() must equal word_count().
+  void search_accumulate_block(const float* queries, std::int64_t lb, const LutMemory& lut,
+                               float* out, std::int64_t out_stride, OpCounter& counter,
+                               CamPrecision precision = CamPrecision::Float32) const;
+
+  /// Weighted fused epilogue for PECAN-A: computes the tile's match-line
+  /// scores (similarity_scores_block at Float32; dequantized int8 crossbar
+  /// reads at Int8), softmaxes each column in place in `scores` (size
+  /// >= p * lb), records the pre-softmax argmax in the usage histogram, and
+  /// weighted-accumulates into the [cout, lb] output tile. At Float32 the
+  /// result is bitwise-identical to the unfused
+  /// similarity_scores_block + softmax + weighted_accumulate_block sequence.
+  /// Binary has no meaningful scores — callers map Binary to Int8 first;
+  /// passing Binary here throws.
+  void similarity_softmax_accumulate_block(const float* queries, std::int64_t lb,
+                                           float temperature, const LutMemory& lut, float* scores,
+                                           float* out, std::int64_t out_stride, OpCounter& counter,
+                                           CamPrecision precision = CamPrecision::Float32) const;
+
+  /// Builds the quantized plane(s) for `precision` from the current words:
+  /// Int8 snapshots affine-quantized prototypes + per-word code sums, Binary
+  /// packs sign planes. Float32 is a no-op. Must be re-run by callers that
+  /// mutate words directly (mutable_words); prune_unused() re-prepares any
+  /// plane that was already built.
+  void prepare_quantized(CamPrecision precision);
+  bool quantized_ready(CamPrecision precision) const;
+  const AffineQuant& qparams() const { return qparams_; }
+  /// Sign-plane binarization thresholds, one per component: the mean of
+  /// that component over the stored words, calibrated by
+  /// prepare_quantized(Binary). A fixed 0 threshold would collapse
+  /// one-sided subspaces (e.g. first-layer image patches) to all-ones
+  /// planes with zero Hamming information; per-component centering keeps
+  /// every bit position near maximum entropy.
+  const std::vector<float>& binary_thresholds() const { return bthresh_; }
 
   /// Dot-product read of ALL match lines (PECAN-A needs the full score
   /// vector for its softmax): scores[m] = <word_m, query>.
@@ -87,10 +174,37 @@ class CamArray {
   std::vector<std::int64_t> prune_unused();
 
  private:
+  void search_block_core(const float* queries, std::int64_t lb, std::int32_t* hit32,
+                         OpCounter& counter, CamPrecision precision) const;
+  void record_usage_block_i32(const std::int32_t* hits, std::int64_t lb) const;
+
   Tensor words_;
   std::int64_t p_, d_;
   SearchMetric metric_;
   mutable std::vector<std::uint64_t> usage_;
+
+  // Int8 plane: affine-quantized prototype codes [p, qstride_] with rows
+  // zero-padded to a 16-byte multiple (aligned rows, tail-free byte loads).
+  // qwsum_ holds per-word code sums (cancels the zero point in dot-metric
+  // scores); wpairs_ carries the same codes pair-interleaved as uint16
+  // halves of a uint32 ([p, (d+1)/2], odd d zero-padded) so the dot scan
+  // can multiply-accumulate along the dimension axis with VPMADDWD.
+  std::vector<std::uint8_t> qwords_;
+  std::vector<std::int32_t> qwsum_;
+  std::vector<std::uint32_t> wpairs_;
+  std::int64_t qstride_ = 0;
+  std::int64_t wpair_dp_ = 0;
+  AffineQuant qparams_;
+  bool int8_ready_ = false;
+
+  // Binary plane: threshold-sign bits packed little-endian into uint64
+  // words, bword_stride_ = ceil(d / 64) words per prototype; wbytes_ is the
+  // same plane as 0/1 bytes ([p, d]) for the lane-parallel Hamming scan.
+  std::vector<std::uint64_t> bwords_;
+  std::vector<std::uint8_t> wbytes_;
+  std::int64_t bword_stride_ = 0;
+  std::vector<float> bthresh_;
+  bool binary_ready_ = false;
 };
 
 }  // namespace pecan::cam

@@ -96,43 +96,22 @@ Tensor CamConv2d::infer(const Tensor& input, nn::InferContext&) const {
   const std::int64_t grain = std::max<std::int64_t>(1, (1 << 12) / tile_cost);
 
   // One tile of one sample: the unit of parallel work. All scratch is
-  // per-tile and lane-local, so lanes never touch the caller's arena.
+  // per-tile and lane-local, so lanes never touch the caller's arena. Both
+  // modes run the fused search->accumulate epilogue: winners (or softmax
+  // weights) flow straight into the LUT sweep without a hits round-trip,
+  // bitwise-identical to the unfused two-pass sequence at Float32.
+  const CamPrecision eff = effective_precision();
   const auto tile_body = [&](const float* image, float* out_s, std::int64_t l0, std::int64_t lb,
-                             float* qtile, std::int64_t* hits, float* scores) {
+                             float* qtile, float* scores) {
     for (std::int64_t j = 0; j < D; ++j) {
       const CamArray& array = arrays_[static_cast<std::size_t>(j)];
       const LutMemory& lut = luts_[static_cast<std::size_t>(j)];
       nn::im2col_tile(image, g, j * d_, d_, l0, lb, qtile);
       if (mode_ == pq::MatchMode::Distance) {
-        array.search_block(qtile, lb, hits, *counter_);
-        lut.accumulate_block(hits, lb, out_s + l0, len, *counter_);
+        array.search_accumulate_block(qtile, lb, lut, out_s + l0, len, *counter_, eff);
       } else {
-        array.similarity_scores_block(qtile, lb, scores, *counter_);
-        // Column softmax of the [p, lb] score tile, in place — same
-        // per-element operations as the scalar path (float exp, double
-        // denominator, one float normalize multiply).
-        for (std::int64_t l = 0; l < lb; ++l) {
-          float mx = scores[l];
-          std::int64_t best = 0;
-          for (std::int64_t m = 1; m < p_; ++m) {
-            const float v = scores[m * lb + l];
-            if (v > mx) {
-              mx = v;
-              best = m;
-            }
-          }
-          hits[l] = best;
-          double denom = 0;
-          for (std::int64_t m = 0; m < p_; ++m) {
-            float& v = scores[m * lb + l];
-            v = std::exp((v - mx) / temperature_);
-            denom += v;
-          }
-          const float inv = static_cast<float>(1.0 / denom);
-          for (std::int64_t m = 0; m < p_; ++m) scores[m * lb + l] *= inv;
-        }
-        array.record_usage_block(hits, lb);
-        lut.weighted_accumulate_block(scores, lb, out_s + l0, len, *counter_);
+        array.similarity_softmax_accumulate_block(qtile, lb, temperature_, lut, scores, out_s + l0,
+                                                  len, *counter_, eff);
       }
     }
   };
@@ -149,13 +128,12 @@ Tensor CamConv2d::infer(const Tensor& input, nn::InferContext&) const {
       [&](std::int64_t w0, std::int64_t w1) {
         std::vector<float> qtile(static_cast<std::size_t>(d_ * kCamTileMax));
         std::vector<float> scores(static_cast<std::size_t>(scores_size));
-        std::int64_t hits[kCamTileMax];
         for (std::int64_t w = w0; w < w1; ++w) {
           const std::int64_t s = w / ntiles;
           const std::int64_t l0 = (w % ntiles) * kCamTileMax;
           const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
           tile_body(input.data() + s * cin_ * hin * win, output.data() + s * cout_ * len, l0, lb,
-                    qtile.data(), hits, scores.data());
+                    qtile.data(), scores.data());
         }
       },
       grain);
@@ -172,6 +150,13 @@ ops::OpCount CamConv2d::inference_ops() const {
   const ops::ConvDims dims{cin_, cout_, k_, g.hout(), g.wout()};
   const ops::PqDims q{p_, groups(), d_};
   return mode_ == pq::MatchMode::Angle ? ops::conv_pecan_a(dims, q) : ops::conv_pecan_d(dims, q);
+}
+
+void CamConv2d::set_precision(CamPrecision precision) {
+  precision_ = precision;
+  const CamPrecision eff = effective_precision();
+  if (eff == CamPrecision::Float32) return;
+  for (auto& array : arrays_) array.prepare_quantized(eff);
 }
 
 void CamConv2d::fold_scale_shift(const Tensor& scale, const Tensor& shift) {

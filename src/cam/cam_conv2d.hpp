@@ -43,6 +43,19 @@ class CamConv2d : public nn::Module {
   LutMemory& lut(std::int64_t j) { return luts_[static_cast<std::size_t>(j)]; }
   OpCounter& counter() { return *counter_; }
 
+  /// Numeric operating point of the CAM search (export default: Float32).
+  /// Setting Int8/Binary prepares the quantized planes in every group's
+  /// array. An Angle-mode layer maps Binary to Int8 (softmax needs real
+  /// match-line magnitudes) — precision() still reports the requested point,
+  /// effective_precision() the one the kernels run at.
+  void set_precision(CamPrecision precision);
+  CamPrecision precision() const { return precision_; }
+  CamPrecision effective_precision() const {
+    return (mode_ == pq::MatchMode::Angle && precision_ == CamPrecision::Binary)
+               ? CamPrecision::Int8
+               : precision_;
+  }
+
   /// Post-BN folding on the exported layer: LUT rows scale, bias shifts.
   void fold_scale_shift(const Tensor& scale, const Tensor& shift);
 
@@ -60,6 +73,7 @@ class CamConv2d : public nn::Module {
   std::string name_;
   std::int64_t cin_, cout_, k_, stride_, pad_, d_, p_;
   pq::MatchMode mode_;
+  CamPrecision precision_ = CamPrecision::Float32;
   float temperature_;
   bool has_bias_;
   Tensor bias_;

@@ -152,6 +152,10 @@ void CamNetworkExport::reset_usage() const {
   for (CamConv2d* layer : cam_layers) layer->reset_usage();
 }
 
+void CamNetworkExport::set_precision(CamPrecision precision) {
+  for (CamConv2d* layer : cam_layers) layer->set_precision(precision);
+}
+
 CamNetworkExport convert_to_cam(nn::Module& trained) {
   CamNetworkExport result;
   result.counter = std::make_shared<OpCounter>();

@@ -26,6 +26,10 @@ struct CamNetworkExport {
   /// §5 pruning over the whole network; returns (pruned, total) prototypes.
   std::pair<std::int64_t, std::int64_t> prune_unused();
   void reset_usage() const;
+
+  /// Sets the CAM search operating point of every exported layer (prepares
+  /// quantized planes for Int8/Binary; Angle layers map Binary to Int8).
+  void set_precision(CamPrecision precision);
 };
 
 /// Throws std::invalid_argument on layer types that have no CAM realization

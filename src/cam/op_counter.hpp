@@ -25,6 +25,12 @@ struct OpCounter {
   std::atomic<std::uint64_t> muls{0};
   std::atomic<std::uint64_t> cam_searches{0};  ///< best-match queries issued
   std::atomic<std::uint64_t> lut_reads{0};     ///< rows fetched from lookup tables
+  // Quantized-search accounting, kept apart from the float adds/muls so the
+  // paper's float complexity tables stay exact while quantized operating
+  // points report their own (cheaper) op mix.
+  std::atomic<std::uint64_t> adds_q{0};      ///< int8-lane adds (quantized match lines)
+  std::atomic<std::uint64_t> muls_q{0};      ///< int8-lane muls (quantized crossbar reads)
+  std::atomic<std::uint64_t> xor_popcounts{0};  ///< 64-bit XOR+popcount word ops (sign-plane)
 
   OpCounter() = default;
   OpCounter(const OpCounter&) = delete;
@@ -35,10 +41,17 @@ struct OpCounter {
     muls.store(0, std::memory_order_relaxed);
     cam_searches.store(0, std::memory_order_relaxed);
     lut_reads.store(0, std::memory_order_relaxed);
+    adds_q.store(0, std::memory_order_relaxed);
+    muls_q.store(0, std::memory_order_relaxed);
+    xor_popcounts.store(0, std::memory_order_relaxed);
   }
 
   ops::OpCount arithmetic() const {
     return {adds.load(std::memory_order_relaxed), muls.load(std::memory_order_relaxed)};
+  }
+
+  ops::OpCount quantized_arithmetic() const {
+    return {adds_q.load(std::memory_order_relaxed), muls_q.load(std::memory_order_relaxed)};
   }
 };
 

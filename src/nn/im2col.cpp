@@ -72,8 +72,35 @@ void col2im_accumulate(const float* cols, const Conv2dGeometry& g, float* im_gra
   }
 }
 
+namespace {
+
+// Hand-rolled segment primitives for the tile gather. Typical runs are a
+// handful of floats (one output row's worth, e.g. 16 for a 16x16 conv), so
+// the libc memcpy/memset dispatch behind std::copy/std::fill costs more
+// than the copy itself; a plain counted loop inlines and vectorizes.
+inline void seg_zero(float* dst, std::int64_t n) {
+  for (std::int64_t u = 0; u < n; ++u) dst[u] = 0.f;
+}
+inline void seg_copy(const float* src, float* dst, std::int64_t n) {
+  for (std::int64_t u = 0; u < n; ++u) dst[u] = src[u];
+}
+
+}  // namespace
+
 void im2col_tile(const float* im, const Conv2dGeometry& g, std::int64_t row0,
                  std::int64_t nrows, std::int64_t l0, std::int64_t lb, float* out) {
+  // Identity taps (1x1 conv / FC layers): row r of the unfolding IS channel
+  // row0+r of the image, so the tile gather degenerates to nrows straight
+  // segment copies.
+  if (g.k == 1 && g.stride == 1 && g.pad == 0) {
+    const std::int64_t hw = g.hin * g.win;
+    const float* src = im + row0 * hw + l0;
+    for (std::int64_t r = 0; r < nrows; ++r) {
+      seg_copy(src, out + r * lb, lb);
+      src += hw;
+    }
+    return;
+  }
   const std::int64_t wo = g.wout();
   const std::int64_t kk = g.k * g.k;
   // All divisions happen here, once per tile; the loops below advance the
@@ -98,32 +125,38 @@ void im2col_tile(const float* im, const Conv2dGeometry& g, std::int64_t row0,
       const std::int64_t seg = std::min(lb - t, wo - oj0);
       const std::int64_t ii = oi * g.stride + kid;
       if (ii < 0 || ii >= g.hin) {
-        std::fill(dst + t, dst + t + seg, 0.f);
+        seg_zero(dst + t, seg);
       } else {
         const std::int64_t base = oj0 * g.stride + kjd;  // jj at the run start
-        // Valid u range of jj = base + u*stride within [0, win).
-        std::int64_t lo, hi;
-        if (g.stride == 1) {
-          lo = base >= 0 ? 0 : -base;
-          hi = g.win - base;
+        if (g.stride == 1 && base >= 0 && base + seg <= g.win) {
+          // Fully in-bounds unit-stride run — the common interior case for
+          // stride-1 convs: one contiguous copy, no range clamping at all.
+          seg_copy(channel + ii * g.win + base, dst + t, seg);
         } else {
-          lo = base >= 0 ? 0 : (-base + g.stride - 1) / g.stride;
-          hi = base < g.win ? (g.win - 1 - base) / g.stride + 1 : 0;
-        }
-        lo = std::min(lo, seg);
-        hi = std::max(lo, std::min(hi, seg));
-        std::fill(dst + t, dst + t + lo, 0.f);
-        if (lo < hi) {
-          // Pointer formed at the first VALID element (base + lo*stride is
-          // in [0, win) whenever lo < hi), never at the padded run start.
-          const float* src = channel + ii * g.win + base + lo * g.stride;
+          // Valid u range of jj = base + u*stride within [0, win).
+          std::int64_t lo, hi;
           if (g.stride == 1) {
-            std::copy(src, src + (hi - lo), dst + t + lo);
+            lo = base >= 0 ? 0 : -base;
+            hi = g.win - base;
           } else {
-            for (std::int64_t u = 0; u < hi - lo; ++u) dst[t + lo + u] = src[u * g.stride];
+            lo = base >= 0 ? 0 : (-base + g.stride - 1) / g.stride;
+            hi = base < g.win ? (g.win - 1 - base) / g.stride + 1 : 0;
           }
+          lo = std::min(lo, seg);
+          hi = std::max(lo, std::min(hi, seg));
+          seg_zero(dst + t, lo);
+          if (lo < hi) {
+            // Pointer formed at the first VALID element (base + lo*stride is
+            // in [0, win) whenever lo < hi), never at the padded run start.
+            const float* src = channel + ii * g.win + base + lo * g.stride;
+            if (g.stride == 1) {
+              seg_copy(src, dst + t + lo, hi - lo);
+            } else {
+              for (std::int64_t u = 0; u < hi - lo; ++u) dst[t + lo + u] = src[u * g.stride];
+            }
+          }
+          seg_zero(dst + t + hi, seg - hi);
         }
-        std::fill(dst + t + hi, dst + t + seg, 0.f);
       }
       t += seg;
       oj0 = 0;

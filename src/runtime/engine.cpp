@@ -35,7 +35,15 @@ Engine::Engine(std::unique_ptr<nn::Sequential> net, EngineConfig config)
   if (config_.max_batch < 1) throw std::invalid_argument("Engine: max_batch must be >= 1");
   if (config_.max_pending < 0) throw std::invalid_argument("Engine: max_pending must be >= 0");
   net_->set_training(false);
-  if (config_.path == ExecPath::Cam) export_ = cam::convert_to_cam(*net_);
+  if (config_.cam_precision != cam::CamPrecision::Float32 && config_.path != ExecPath::Cam) {
+    throw std::invalid_argument("Engine: cam_precision requires ExecPath::Cam");
+  }
+  if (config_.path == ExecPath::Cam) {
+    export_ = cam::convert_to_cam(*net_);
+    if (config_.cam_precision != cam::CamPrecision::Float32) {
+      export_.set_precision(config_.cam_precision);
+    }
+  }
   compile();
   latency_window_.reserve(kLatencyWindow);
 }
@@ -47,6 +55,12 @@ std::unique_ptr<Engine> Engine::from_artifact(const ModelArtifact& artifact, Eng
   }
   if (config.input_shape.empty()) {
     config.input_shape = {artifact.in_channels, artifact.in_height, artifact.in_width};
+  }
+  // A Float32 config defers to the operating point baked into the artifact;
+  // an explicit Int8/Binary config wins (e.g. a canary deploy of the same
+  // artifact at a different point).
+  if (config.path == ExecPath::Cam && config.cam_precision == cam::CamPrecision::Float32) {
+    config.cam_precision = artifact.cam_precision;
   }
   return std::make_unique<Engine>(build_network(artifact), config);
 }

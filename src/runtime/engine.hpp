@@ -105,6 +105,12 @@ struct EngineConfig {
   /// bitwise-identical at any shard size because batching never crosses
   /// samples and each output row keeps its single serial accumulation chain.
   std::int64_t shard_samples = 0;
+  /// Numeric operating point of the CAM search kernels (ExecPath::Cam only;
+  /// setting it on the Float path throws). Float32 is the bitwise spec;
+  /// Int8/Binary trade a tolerance-gated accuracy delta for narrower match
+  /// lanes. Float32 here defers to the precision baked into a deployed
+  /// artifact (if any); Int8/Binary override it.
+  cam::CamPrecision cam_precision = cam::CamPrecision::Float32;
 };
 
 struct EngineStats {
@@ -167,6 +173,9 @@ class Engine {
   std::int64_t plan_size() const { return static_cast<std::int64_t>(plan_.size()); }
   const std::vector<std::string>& plan_names() const { return plan_names_; }
   ExecPath path() const { return config_.path; }
+  /// Operating point the CAM kernels actually run at (Float32 on the Float
+  /// path and for float CAM deploys).
+  cam::CamPrecision cam_precision() const { return config_.cam_precision; }
   EngineStats stats() const;
 
   /// Shared dynamic op counter of the CAM export (null on the Float path).

@@ -76,12 +76,14 @@ std::int64_t parse_int(const std::string& value, const std::string& key, const s
 }  // namespace
 
 ModelArtifact make_artifact(const std::string& model, models::Variant variant,
-                            std::int64_t num_classes, nn::Module& net) {
+                            std::int64_t num_classes, nn::Module& net,
+                            cam::CamPrecision cam_precision) {
   const InputGeometry geometry = input_geometry(model);
   ModelArtifact artifact;
   artifact.model = model;
   artifact.variant = variant;
   artifact.num_classes = num_classes;
+  artifact.cam_precision = cam_precision;
   artifact.in_channels = geometry.c;
   artifact.in_height = geometry.h;
   artifact.in_width = geometry.w;
@@ -99,6 +101,7 @@ void save_artifact(const std::string& path, const ModelArtifact& artifact) {
   meta["input.channels"] = std::to_string(artifact.in_channels);
   meta["input.height"] = std::to_string(artifact.in_height);
   meta["input.width"] = std::to_string(artifact.in_width);
+  meta["cam.precision"] = cam::precision_name(artifact.cam_precision);
   save_tensors(path, artifact.weights, meta);
 }
 
@@ -117,6 +120,11 @@ ModelArtifact load_artifact(const std::string& path) {
       parse_int(require_meta(file.meta, "input.channels", path), "input.channels", path);
   artifact.in_height = parse_int(require_meta(file.meta, "input.height", path), "input.height", path);
   artifact.in_width = parse_int(require_meta(file.meta, "input.width", path), "input.width", path);
+  // Optional: artifacts written before quantized exports existed read as
+  // the float operating point.
+  if (auto it = file.meta.find("cam.precision"); it != file.meta.end()) {
+    artifact.cam_precision = cam::precision_from_name(it->second);
+  }
   for (const auto& [key, value] : file.meta) {
     if (key.rfind("pq.", 0) == 0) artifact.pq_configs.emplace(key, value);
   }

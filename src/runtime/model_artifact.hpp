@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "cam/cam_array.hpp"
 #include "models/variant.hpp"
 #include "nn/module.hpp"
 #include "tensor/serialize.hpp"
@@ -30,6 +31,11 @@ struct ModelArtifact {
   models::Variant variant = models::Variant::Baseline;
   std::int64_t num_classes = 0;
   std::int64_t in_channels = 0, in_height = 0, in_width = 0;
+  /// CAM search operating point baked in at export time ("cam.precision"
+  /// metadata; optional on disk — absent reads as Float32, so pre-quantized
+  /// artifacts stay loadable). A CAM deploy with a Float32 EngineConfig
+  /// picks this up; an explicit config precision overrides it.
+  cam::CamPrecision cam_precision = cam::CamPrecision::Float32;
   MetaMap pq_configs;  ///< "pq.<layer>" -> "mode=..;p=..;d=..;tau=.."
   TensorMap weights;   ///< full state_dict of the trained network
 };
@@ -38,7 +44,8 @@ struct ModelArtifact {
 /// families build_network knows how to rebuild; input geometry is recorded
 /// so the engine can validate requests before running them.
 ModelArtifact make_artifact(const std::string& model, models::Variant variant,
-                            std::int64_t num_classes, nn::Module& net);
+                            std::int64_t num_classes, nn::Module& net,
+                            cam::CamPrecision cam_precision = cam::CamPrecision::Float32);
 
 void save_artifact(const std::string& path, const ModelArtifact& artifact);
 ModelArtifact load_artifact(const std::string& path);

@@ -403,11 +403,13 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
         char buf[512];
         std::snprintf(buf, sizeof(buf),
                       "{\"model\":\"%s\",\"generation\":%llu,\"deploys\":%llu,\"shed\":%llu,"
+                      "\"cam_precision\":\"%s\","
                       "\"requests\":%llu,\"batches\":%llu,\"queue_depth\":%lld,"
                       "\"in_flight\":%lld,\"p50_ms\":%.3f,\"p99_ms\":%.3f}",
                       model.c_str(), static_cast<unsigned long long>(s.generation),
                       static_cast<unsigned long long>(s.deploys),
                       static_cast<unsigned long long>(s.shed_total),
+                      cam::precision_name(s.cam_precision),
                       static_cast<unsigned long long>(s.engine.requests),
                       static_cast<unsigned long long>(s.engine.batches),
                       static_cast<long long>(s.engine.queue_depth),

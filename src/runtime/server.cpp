@@ -73,6 +73,7 @@ ModelServerStats Server::stats(const std::string& name) const {
   const ModelRegistry::Lease lease = registry_.acquire_with_generation(name);
   ModelServerStats out;
   out.generation = lease.generation;
+  out.cam_precision = lease.engine->cam_precision();
   out.engine = lease.engine->stats();
   const Counters& c = counters(name);
   out.deploys = c.deploys.load(std::memory_order_relaxed);

@@ -60,6 +60,11 @@ struct ModelServerStats {
   std::uint64_t generation = 0;   ///< engine generation currently serving
   std::uint64_t deploys = 0;      ///< successful deploys of this name
   std::uint64_t shed_total = 0;   ///< rejected submits across all generations
+  /// CAM operating point of the CURRENT generation. A hot-swap that changes
+  /// precision flips this atomically with the generation; leased engines of
+  /// the old generation keep serving at their own precision until the last
+  /// lease drops.
+  cam::CamPrecision cam_precision = cam::CamPrecision::Float32;
   EngineStats engine;             ///< live engine snapshot (current generation)
 };
 

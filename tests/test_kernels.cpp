@@ -6,7 +6,10 @@
 // numbers.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 #include "cam/cam_array.hpp"
@@ -28,12 +31,14 @@ using cam::OpCounter;
 using cam::SearchMetric;
 
 struct CounterSnapshot {
-  std::uint64_t adds, muls, searches, lut_reads;
+  std::uint64_t adds, muls, searches, lut_reads, adds_q, muls_q, xors;
   explicit CounterSnapshot(const OpCounter& c)
       : adds(c.adds.load()), muls(c.muls.load()), searches(c.cam_searches.load()),
-        lut_reads(c.lut_reads.load()) {}
+        lut_reads(c.lut_reads.load()), adds_q(c.adds_q.load()), muls_q(c.muls_q.load()),
+        xors(c.xor_popcounts.load()) {}
   bool operator==(const CounterSnapshot& o) const {
-    return adds == o.adds && muls == o.muls && searches == o.searches && lut_reads == o.lut_reads;
+    return adds == o.adds && muls == o.muls && searches == o.searches &&
+           lut_reads == o.lut_reads && adds_q == o.adds_q && muls_q == o.muls_q && xors == o.xors;
   }
 };
 
@@ -416,6 +421,431 @@ TEST(CamConv2dTiled, LargeGeometryBatchedMatchesPerSampleInfer) {
     const float* batched_s = batched.data() + s * one.numel();
     for (std::int64_t i = 0; i < one.numel(); ++i) {
       ASSERT_EQ(one[i], batched_s[i]) << "s=" << s << " i=" << i;
+    }
+  }
+}
+
+// ------------------------------------------------- quantized search planes
+
+using cam::affine_quantize;
+using cam::AffineQuant;
+using cam::CamPrecision;
+
+// Independent scalar reference for the quantized planes, written against the
+// documented code grids (affine uint8 codes / sign bits), not the kernels'
+// packed layouts. Hits resolve with the same lowest-index tie-break.
+std::vector<std::int64_t> quantized_reference_hits(const CamArray& array, const Tensor& cols,
+                                                   CamPrecision precision) {
+  const std::int64_t d = array.word_dim(), p = array.word_count(), len = cols.dim(1);
+  const float* words = array.words().data();
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(len));
+  for (std::int64_t l = 0; l < len; ++l) {
+    std::int64_t best_m = 0;
+    if (precision == CamPrecision::Binary) {
+      const std::vector<float>& thresh = array.binary_thresholds();
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      for (std::int64_t m = 0; m < p; ++m) {
+        std::int64_t ham = 0;
+        for (std::int64_t i = 0; i < d; ++i) {
+          const bool qs = cols[i * len + l] >= thresh[static_cast<std::size_t>(i)];
+          const bool ws = words[m * d + i] >= thresh[static_cast<std::size_t>(i)];
+          ham += qs != ws;
+        }
+        if (ham < best) {
+          best = ham;
+          best_m = m;
+        }
+      }
+    } else {
+      const AffineQuant& qp = array.qparams();
+      std::vector<std::int32_t> q(static_cast<std::size_t>(d));
+      for (std::int64_t i = 0; i < d; ++i) {
+        q[static_cast<std::size_t>(i)] = affine_quantize(cols[i * len + l], qp);
+      }
+      if (array.metric() == SearchMetric::L1BestMatch) {
+        std::int64_t best = std::numeric_limits<std::int64_t>::max();
+        for (std::int64_t m = 0; m < p; ++m) {
+          std::int64_t dist = 0;
+          for (std::int64_t i = 0; i < d; ++i) {
+            const std::int32_t w = affine_quantize(words[m * d + i], qp);
+            dist += std::abs(q[static_cast<std::size_t>(i)] - w);
+          }
+          if (dist < best) {
+            best = dist;
+            best_m = m;
+          }
+        }
+      } else {
+        // Argmax of the zero-point-corrected crossbar read dot - zp*sum(w).
+        std::int64_t best = std::numeric_limits<std::int64_t>::min();
+        for (std::int64_t m = 0; m < p; ++m) {
+          std::int64_t dot = 0, wsum = 0;
+          for (std::int64_t i = 0; i < d; ++i) {
+            const std::int32_t w = affine_quantize(words[m * d + i], qp);
+            dot += static_cast<std::int64_t>(q[static_cast<std::size_t>(i)]) * w;
+            wsum += w;
+          }
+          const std::int64_t score = dot - qp.zero_point * wsum;
+          if (score > best) {
+            best = score;
+            best_m = m;
+          }
+        }
+      }
+    }
+    hits[static_cast<std::size_t>(l)] = best_m;
+  }
+  return hits;
+}
+
+// Drives search_block over the tile grid the conv kernels use.
+std::vector<std::int64_t> blocked_hits(const CamArray& array, const Tensor& cols,
+                                       CamPrecision precision, OpCounter& counter) {
+  const std::int64_t d = array.word_dim(), len = cols.dim(1);
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(len));
+  std::vector<float> qtile(static_cast<std::size_t>(d * kCamTileMax));
+  for (std::int64_t l0 = 0; l0 < len; l0 += kCamTileMax) {
+    const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+    nn::pack_cols_tile(cols.data(), len, d, l0, lb, qtile.data());
+    array.search_block(qtile.data(), lb, hits.data() + l0, counter, precision);
+  }
+  return hits;
+}
+
+std::vector<std::uint64_t> usage_of(const std::vector<std::int64_t>& hits, std::int64_t p) {
+  std::vector<std::uint64_t> usage(static_cast<std::size_t>(p), 0);
+  for (const std::int64_t h : hits) ++usage[static_cast<std::size_t>(h)];
+  return usage;
+}
+
+// Odd dims exercise the dot path's pair padding; d=16/17 cross the int8 L1
+// kernel's 8-dim group boundary.
+const std::int64_t kQDims[] = {1, 2, 9, 16, 17};
+
+TEST(QuantizedSearch, Int8L1MatchesScalarQuantizedReference) {
+  for (const std::int64_t len : kLens) {
+    for (const std::int64_t d : kQDims) {
+      for (const std::int64_t p : kWords) {
+        Rng rng(static_cast<std::uint64_t>(5000 + len * 100 + d * 10 + p));
+        CamArray array(rng.randn({p, d}), SearchMetric::L1BestMatch);
+        array.prepare_quantized(CamPrecision::Int8);
+        Tensor cols = rng.randn({d, len});
+
+        OpCounter counter;
+        const std::vector<std::int64_t> hits =
+            blocked_hits(array, cols, CamPrecision::Int8, counter);
+        EXPECT_EQ(hits, quantized_reference_hits(array, cols, CamPrecision::Int8))
+            << "len=" << len << " d=" << d << " p=" << p;
+        EXPECT_EQ(array.usage(), usage_of(hits, p));
+
+        // Quantized searches land in the int8-lane counters; the float
+        // add/mul ledger must stay untouched.
+        const CounterSnapshot snap(counter);
+        EXPECT_EQ(snap.searches, static_cast<std::uint64_t>(len));
+        EXPECT_EQ(snap.adds_q, static_cast<std::uint64_t>(2 * p * d * len));
+        EXPECT_EQ(snap.adds, 0u);
+        EXPECT_EQ(snap.muls, 0u);
+        EXPECT_EQ(snap.muls_q, 0u);
+        EXPECT_EQ(snap.xors, 0u);
+      }
+    }
+  }
+}
+
+TEST(QuantizedSearch, Int8DotMatchesScalarQuantizedReference) {
+  for (const std::int64_t len : kLens) {
+    for (const std::int64_t d : kQDims) {
+      for (const std::int64_t p : kWords) {
+        Rng rng(static_cast<std::uint64_t>(6000 + len * 100 + d * 10 + p));
+        CamArray array(rng.randn({p, d}), SearchMetric::DotProduct);
+        array.prepare_quantized(CamPrecision::Int8);
+        Tensor cols = rng.randn({d, len});
+
+        OpCounter counter;
+        const std::vector<std::int64_t> hits =
+            blocked_hits(array, cols, CamPrecision::Int8, counter);
+        EXPECT_EQ(hits, quantized_reference_hits(array, cols, CamPrecision::Int8))
+            << "len=" << len << " d=" << d << " p=" << p;
+        EXPECT_EQ(array.usage(), usage_of(hits, p));
+
+        const CounterSnapshot snap(counter);
+        EXPECT_EQ(snap.searches, static_cast<std::uint64_t>(len));
+        EXPECT_EQ(snap.adds_q, static_cast<std::uint64_t>(p * d * len));
+        EXPECT_EQ(snap.muls_q, static_cast<std::uint64_t>(p * d * len));
+        EXPECT_EQ(snap.adds, 0u);
+        EXPECT_EQ(snap.muls, 0u);
+      }
+    }
+  }
+}
+
+TEST(QuantizedSearch, BinaryHammingMatchesSignReference) {
+  // d=64/65 cross the uint64 sign-word boundary of the packed plane.
+  for (const std::int64_t len : kLens) {
+    for (const std::int64_t d : {1, 2, 9, 17, 64, 65}) {
+      for (const std::int64_t p : kWords) {
+        Rng rng(static_cast<std::uint64_t>(7000 + len * 100 + d * 10 + p));
+        CamArray array(rng.randn({p, d}), SearchMetric::L1BestMatch);
+        array.prepare_quantized(CamPrecision::Binary);
+        Tensor cols = rng.randn({d, len});
+
+        OpCounter counter;
+        const std::vector<std::int64_t> hits =
+            blocked_hits(array, cols, CamPrecision::Binary, counter);
+        EXPECT_EQ(hits, quantized_reference_hits(array, cols, CamPrecision::Binary))
+            << "len=" << len << " d=" << d << " p=" << p;
+        EXPECT_EQ(array.usage(), usage_of(hits, p));
+
+        const CounterSnapshot snap(counter);
+        const std::int64_t bwords = (d + 63) / 64;
+        EXPECT_EQ(snap.searches, static_cast<std::uint64_t>(len));
+        EXPECT_EQ(snap.xors, static_cast<std::uint64_t>(p * bwords * len));
+        EXPECT_EQ(snap.adds, 0u);
+        EXPECT_EQ(snap.adds_q, 0u);
+      }
+    }
+  }
+}
+
+TEST(QuantizedSearch, RequiresPreparedPlaneAndL1ForBinary) {
+  Rng rng(71);
+  OpCounter counter;
+  std::vector<float> queries(static_cast<std::size_t>(9), 0.f);
+  std::int64_t hit = 0;
+
+  CamArray l1(rng.randn({4, 9}), SearchMetric::L1BestMatch);
+  EXPECT_THROW(l1.search_block(queries.data(), 1, &hit, counter, CamPrecision::Int8),
+               std::logic_error);
+  EXPECT_THROW(l1.search_block(queries.data(), 1, &hit, counter, CamPrecision::Binary),
+               std::logic_error);
+  EXPECT_FALSE(l1.quantized_ready(CamPrecision::Int8));
+  l1.prepare_quantized(CamPrecision::Int8);
+  EXPECT_TRUE(l1.quantized_ready(CamPrecision::Int8));
+  EXPECT_NO_THROW(l1.search_block(queries.data(), 1, &hit, counter, CamPrecision::Int8));
+
+  CamArray dot(rng.randn({4, 9}), SearchMetric::DotProduct);
+  dot.prepare_quantized(CamPrecision::Binary);
+  // The sign plane carries no magnitudes: binary dot search and binary
+  // softmax reads both refuse instead of silently degrading.
+  EXPECT_THROW(dot.search_block(queries.data(), 1, &hit, counter, CamPrecision::Binary),
+               std::invalid_argument);
+  LutMemory lut(rng.randn({3, 4}));
+  std::vector<float> scores(static_cast<std::size_t>(4 * kCamTileMax));
+  std::vector<float> out(3, 0.f);
+  EXPECT_THROW(dot.similarity_softmax_accumulate_block(queries.data(), 1, 1.f, lut, scores.data(),
+                                                       out.data(), 1, counter,
+                                                       CamPrecision::Binary),
+               std::invalid_argument);
+  EXPECT_THROW(dot.similarity_softmax_accumulate_block(queries.data(), 1, 1.f, lut, scores.data(),
+                                                       out.data(), 1, counter, CamPrecision::Int8),
+               std::logic_error);
+}
+
+// ------------------------------------------------- fused search epilogue
+
+TEST(FusedEpilogue, MatchesTwoPassAtEveryPrecision) {
+  constexpr std::int64_t kP = 32, kD = 9, kCout = 13;
+  for (const CamPrecision precision :
+       {CamPrecision::Float32, CamPrecision::Int8, CamPrecision::Binary}) {
+    for (const std::int64_t len : kLens) {
+      Rng rng(static_cast<std::uint64_t>(8000 + len * 10 + static_cast<int>(precision)));
+      CamArray array(rng.randn({kP, kD}), SearchMetric::L1BestMatch);
+      if (precision != CamPrecision::Float32) array.prepare_quantized(precision);
+      LutMemory lut(rng.randn({kCout, kP}));
+      Tensor cols = rng.randn({kD, len});
+      std::vector<float> qtile(static_cast<std::size_t>(kD * kCamTileMax));
+
+      // Two-pass reference: search_block then LUT accumulate_block.
+      OpCounter two_pass_counter;
+      Tensor expected({kCout, len}, std::vector<float>(static_cast<std::size_t>(kCout * len), 0.f));
+      std::vector<std::int64_t> hits(static_cast<std::size_t>(kCamTileMax));
+      for (std::int64_t l0 = 0; l0 < len; l0 += kCamTileMax) {
+        const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+        nn::pack_cols_tile(cols.data(), len, kD, l0, lb, qtile.data());
+        array.search_block(qtile.data(), lb, hits.data(), two_pass_counter, precision);
+        lut.accumulate_block(hits.data(), lb, expected.data() + l0, len, two_pass_counter);
+      }
+      const std::vector<std::uint64_t> two_pass_usage = array.usage();
+      array.reset_usage();
+
+      OpCounter fused_counter;
+      Tensor actual({kCout, len}, std::vector<float>(static_cast<std::size_t>(kCout * len), 0.f));
+      for (std::int64_t l0 = 0; l0 < len; l0 += kCamTileMax) {
+        const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+        nn::pack_cols_tile(cols.data(), len, kD, l0, lb, qtile.data());
+        array.search_accumulate_block(qtile.data(), lb, lut, actual.data() + l0, len,
+                                      fused_counter, precision);
+      }
+
+      EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                            static_cast<std::size_t>(kCout * len) * sizeof(float)),
+                0)
+          << "precision=" << static_cast<int>(precision) << " len=" << len;
+      EXPECT_TRUE(CounterSnapshot(fused_counter) == CounterSnapshot(two_pass_counter))
+          << "counter drift at precision=" << static_cast<int>(precision) << " len=" << len;
+      EXPECT_EQ(array.usage(), two_pass_usage);
+      array.reset_usage();
+    }
+  }
+}
+
+TEST(FusedEpilogue, RejectsMismatchedLut) {
+  Rng rng(81);
+  CamArray array(rng.randn({8, 4}), SearchMetric::L1BestMatch);
+  LutMemory wrong(rng.randn({3, 7}));  // 7 entries vs 8 words
+  OpCounter counter;
+  std::vector<float> queries(static_cast<std::size_t>(4), 0.f);
+  std::vector<float> out(3, 0.f);
+  EXPECT_THROW(array.search_accumulate_block(queries.data(), 1, wrong, out.data(), 1, counter),
+               std::invalid_argument);
+}
+
+// Softmax replica with the exact op order of the fused kernel (float exp,
+// double denominator, one float normalize multiply); returns the
+// pre-softmax argmax recorded in the usage histogram.
+std::int64_t softmax_column_replica(float* scores, std::int64_t p, std::int64_t lb, std::int64_t l,
+                                    float temperature) {
+  float mx = scores[l];
+  std::int64_t best = 0;
+  for (std::int64_t m = 1; m < p; ++m) {
+    const float v = scores[m * lb + l];
+    if (v > mx) {
+      mx = v;
+      best = m;
+    }
+  }
+  double denom = 0;
+  for (std::int64_t m = 0; m < p; ++m) {
+    float& v = scores[m * lb + l];
+    v = std::exp((v - mx) / temperature);
+    denom += v;
+  }
+  const float inv = static_cast<float>(1.0 / denom);
+  for (std::int64_t m = 0; m < p; ++m) scores[m * lb + l] *= inv;
+  return best;
+}
+
+TEST(FusedWeighted, Float32BitwiseMatchesUnfusedSequence) {
+  constexpr std::int64_t kP = 8, kD = 9, kCout = 13;
+  constexpr float kTemp = 0.75f;
+  for (const std::int64_t len : {std::int64_t{1}, std::int64_t{63}, std::int64_t{64},
+                                 std::int64_t{65}}) {
+    Rng rng(static_cast<std::uint64_t>(9000 + len));
+    CamArray array(rng.randn({kP, kD}), SearchMetric::DotProduct);
+    LutMemory lut(rng.randn({kCout, kP}));
+    Tensor cols = rng.randn({kD, len});
+    std::vector<float> qtile(static_cast<std::size_t>(kD * kCamTileMax));
+    std::vector<float> scores(static_cast<std::size_t>(kP * kCamTileMax));
+    std::vector<std::uint64_t> expected_usage(static_cast<std::size_t>(kP), 0);
+
+    OpCounter ref_counter;
+    Tensor expected({kCout, len}, std::vector<float>(static_cast<std::size_t>(kCout * len), 0.f));
+    for (std::int64_t l0 = 0; l0 < len; l0 += kCamTileMax) {
+      const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+      nn::pack_cols_tile(cols.data(), len, kD, l0, lb, qtile.data());
+      array.similarity_scores_block(qtile.data(), lb, scores.data(), ref_counter);
+      for (std::int64_t l = 0; l < lb; ++l) {
+        ++expected_usage[static_cast<std::size_t>(
+            softmax_column_replica(scores.data(), kP, lb, l, kTemp))];
+      }
+      lut.weighted_accumulate_block(scores.data(), lb, expected.data() + l0, len, ref_counter);
+    }
+
+    OpCounter fused_counter;
+    Tensor actual({kCout, len}, std::vector<float>(static_cast<std::size_t>(kCout * len), 0.f));
+    for (std::int64_t l0 = 0; l0 < len; l0 += kCamTileMax) {
+      const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+      nn::pack_cols_tile(cols.data(), len, kD, l0, lb, qtile.data());
+      array.similarity_softmax_accumulate_block(qtile.data(), lb, kTemp, lut, scores.data(),
+                                                actual.data() + l0, len, fused_counter);
+    }
+
+    EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                          static_cast<std::size_t>(kCout * len) * sizeof(float)),
+              0)
+        << "len=" << len;
+    EXPECT_TRUE(CounterSnapshot(fused_counter) == CounterSnapshot(ref_counter)) << "len=" << len;
+    EXPECT_EQ(array.usage(), expected_usage);
+  }
+}
+
+TEST(FusedWeighted, Int8MatchesExactIntegerReference) {
+  constexpr std::int64_t kP = 8, kCout = 13;
+  constexpr float kTemp = 0.75f;
+  // Odd d exercises the dot scan's pair padding inside the fused read.
+  for (const std::int64_t d : {std::int64_t{9}, std::int64_t{16}}) {
+    for (const std::int64_t len : {std::int64_t{1}, std::int64_t{64}, std::int64_t{65}}) {
+      Rng rng(static_cast<std::uint64_t>(9500 + d * 100 + len));
+      CamArray array(rng.randn({kP, d}), SearchMetric::DotProduct);
+      array.prepare_quantized(CamPrecision::Int8);
+      LutMemory lut(rng.randn({kCout, kP}));
+      Tensor cols = rng.randn({d, len});
+      std::vector<float> qtile(static_cast<std::size_t>(d * kCamTileMax));
+      std::vector<float> scores(static_cast<std::size_t>(kP * kCamTileMax));
+      std::vector<std::uint64_t> expected_usage(static_cast<std::size_t>(kP), 0);
+
+      // Exact-integer dequantized score reference:
+      //   s^2 * (dot - zp*wsum[m] - zp*qsum[l] + d*zp^2)
+      // followed by the replica softmax and the blocked weighted accumulate.
+      const AffineQuant& qp = array.qparams();
+      const float s2 = qp.scale * qp.scale;
+      const std::int64_t zp = qp.zero_point;
+      OpCounter ref_counter;
+      Tensor expected({kCout, len},
+                      std::vector<float>(static_cast<std::size_t>(kCout * len), 0.f));
+      for (std::int64_t l0 = 0; l0 < len; l0 += kCamTileMax) {
+        const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+        for (std::int64_t l = 0; l < lb; ++l) {
+          std::vector<std::int64_t> q(static_cast<std::size_t>(d));
+          std::int64_t qsum = 0;
+          for (std::int64_t i = 0; i < d; ++i) {
+            q[static_cast<std::size_t>(i)] = affine_quantize(cols[i * len + l0 + l], qp);
+            qsum += q[static_cast<std::size_t>(i)];
+          }
+          for (std::int64_t m = 0; m < kP; ++m) {
+            std::int64_t dot = 0, wsum = 0;
+            for (std::int64_t i = 0; i < d; ++i) {
+              const std::int64_t w =
+                  affine_quantize(array.words()[m * d + i], qp);
+              dot += q[static_cast<std::size_t>(i)] * w;
+              wsum += w;
+            }
+            const std::int64_t integer = dot - zp * wsum - zp * qsum + d * zp * zp;
+            scores[static_cast<std::size_t>(m * lb + l)] =
+                s2 * static_cast<float>(static_cast<std::int32_t>(integer));
+          }
+        }
+        for (std::int64_t l = 0; l < lb; ++l) {
+          ++expected_usage[static_cast<std::size_t>(
+              softmax_column_replica(scores.data(), kP, lb, l, kTemp))];
+        }
+        lut.weighted_accumulate_block(scores.data(), lb, expected.data() + l0, len, ref_counter);
+      }
+
+      OpCounter fused_counter;
+      Tensor actual({kCout, len},
+                    std::vector<float>(static_cast<std::size_t>(kCout * len), 0.f));
+      for (std::int64_t l0 = 0; l0 < len; l0 += kCamTileMax) {
+        const std::int64_t lb = std::min<std::int64_t>(kCamTileMax, len - l0);
+        nn::pack_cols_tile(cols.data(), len, d, l0, lb, qtile.data());
+        array.similarity_softmax_accumulate_block(qtile.data(), lb, kTemp, lut, scores.data(),
+                                                  actual.data() + l0, len, fused_counter,
+                                                  CamPrecision::Int8);
+      }
+
+      EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                            static_cast<std::size_t>(kCout * len) * sizeof(float)),
+                0)
+          << "d=" << d << " len=" << len;
+      EXPECT_EQ(array.usage(), expected_usage);
+      // The integer crossbar read lands in the int8-lane ledger; the LUT's
+      // weighted accumulate charges the same float ops as the reference.
+      const CounterSnapshot fused(fused_counter), ref(ref_counter);
+      EXPECT_EQ(fused.searches, ref.searches + static_cast<std::uint64_t>(len));
+      EXPECT_EQ(fused.adds_q, static_cast<std::uint64_t>(kP * d * len));
+      EXPECT_EQ(fused.muls_q, static_cast<std::uint64_t>(kP * d * len));
+      EXPECT_EQ(fused.adds, ref.adds);
+      EXPECT_EQ(fused.muls, ref.muls);
     }
   }
 }

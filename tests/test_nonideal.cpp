@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "cam/cam_array.hpp"
 #include "cam/convert.hpp"
 #include "cam/nonideal.hpp"
 #include "core/pecan_conv2d.hpp"
@@ -127,6 +128,76 @@ TEST(Nonideal, RejectsBadBitWidths) {
   CamConv2d exported(layer, std::make_shared<OpCounter>());
   EXPECT_THROW(quantize_to_intn(exported, 1), std::invalid_argument);
   EXPECT_THROW(quantize_to_intn(exported, 17), std::invalid_argument);
+}
+
+// ----------------------------------------- affine uint8 grid edge cases
+
+TEST(Nonideal, AffineQparamsZeroRangeStaysValid) {
+  // All-equal values (e.g. an array pruned to one word, or a constant
+  // prototype) have zero range: the params must degenerate to a usable
+  // grid instead of a division by zero.
+  const float values[4] = {2.5f, 2.5f, 2.5f, 2.5f};
+  const AffineQuant qp = affine_qparams(values, 4);
+  EXPECT_EQ(qp.scale, 1.f);
+  EXPECT_EQ(qp.inv_scale, 1.f);
+  EXPECT_GE(qp.zero_point, 0);
+  EXPECT_LE(qp.zero_point, 255);
+  // Every equal input maps to one in-range code.
+  const std::uint8_t code = affine_quantize(2.5f, qp);
+  EXPECT_EQ(affine_quantize(2.5f, qp), code);
+
+  // A CamArray of all-equal words still searches: every distance ties, so
+  // the lowest-index tie-break must pick word 0 at every precision.
+  Tensor words({3, 4}, std::vector<float>(12, 2.5f));
+  CamArray array(std::move(words), SearchMetric::L1BestMatch);
+  array.prepare_quantized(CamPrecision::Int8);
+  array.prepare_quantized(CamPrecision::Binary);
+  Rng rng(6);
+  Tensor tile = rng.randn({4, 8});  // dim-major [d, lb] query tile
+  OpCounter counter;
+  std::int64_t hits[8];
+  for (const CamPrecision precision :
+       {CamPrecision::Float32, CamPrecision::Int8, CamPrecision::Binary}) {
+    array.search_block(tile.data(), 8, hits, counter, precision);
+    for (int l = 0; l < 8; ++l) {
+      EXPECT_EQ(hits[l], 0) << "precision=" << static_cast<int>(precision) << " l=" << l;
+    }
+  }
+}
+
+TEST(Nonideal, AffineQuantizeSaturatesAtGridEnds) {
+  // Range [-1, 3]: scale = 4/255, zero point = lround(255/4) = 64.
+  const float values[3] = {-1.f, 0.5f, 3.f};
+  const AffineQuant qp = affine_qparams(values, 3);
+  EXPECT_EQ(qp.zero_point, 64);
+  // The range endpoints land exactly on the grid ends...
+  EXPECT_EQ(affine_quantize(-1.f, qp), 0);
+  EXPECT_EQ(affine_quantize(3.f, qp), 255);
+  // ...and anything outside saturates instead of wrapping.
+  EXPECT_EQ(affine_quantize(-100.f, qp), 0);
+  EXPECT_EQ(affine_quantize(100.f, qp), 255);
+  EXPECT_EQ(affine_quantize(0.f, qp), 64);  // real zero sits on the zero point
+}
+
+TEST(Nonideal, TwoBitQuantizationSaturatesToThreeLevels) {
+  // The single-level-per-sign extreme: 2 bits -> 3 levels {-s, 0, +s}.
+  // Every word and LUT entry must land exactly on one of them.
+  Rng rng(7);
+  pq::PecanConv2d layer("p", 1, 2, 3, 1, 0, false, dist_cfg(4, 9), rng);
+  CamConv2d exported(layer, std::make_shared<OpCounter>());
+  const QuantizationReport report = quantize_to_intn(exported, 2);
+  EXPECT_EQ(report.levels, 3);
+  const Tensor& words = exported.array(0).words();
+  float max_abs = 0.f;
+  for (std::int64_t i = 0; i < words.numel(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(words[i]));
+  }
+  ASSERT_GT(max_abs, 0.f);
+  for (std::int64_t i = 0; i < words.numel(); ++i) {
+    const float v = std::fabs(words[i]);
+    EXPECT_TRUE(v < 1e-7f || std::fabs(v - max_abs) < 1e-6f)
+        << "word " << i << " = " << words[i] << " is off the 3-level grid (s=" << max_abs << ")";
+  }
 }
 
 }  // namespace

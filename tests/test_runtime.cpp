@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <stdexcept>
@@ -11,9 +12,14 @@
 #include <vector>
 
 #include "cam/convert.hpp"
+#include "core/introspect.hpp"
+#include "data/synthetic.hpp"
 #include "models/lenet.hpp"
 #include "models/resnet.hpp"
 #include "nn/batchnorm.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/model_artifact.hpp"
 #include "tensor/rng.hpp"
@@ -665,6 +671,101 @@ TEST(ModelArtifact, RejectsUnknownModelFamily) {
   auto net = models::make_lenet5(models::Variant::PecanD, rng);
   EXPECT_THROW(runtime::make_artifact("alexnet", models::Variant::PecanD, 10, *net),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------- quantized operating point
+
+TEST(ModelArtifact, CamPrecisionRoundTripsAndEngineAdoptsIt) {
+  Rng rng(83);
+  auto trained = models::make_lenet5(models::Variant::PecanD, rng);
+  trained->set_training(false);
+  runtime::ModelArtifact artifact = runtime::make_artifact(
+      "lenet5", models::Variant::PecanD, 10, *trained, cam::CamPrecision::Int8);
+  EXPECT_EQ(artifact.cam_precision, cam::CamPrecision::Int8);
+
+  // The operating point survives serialization...
+  const std::string path = "/tmp/pecan_artifact_precision_test.bin";
+  runtime::save_artifact(path, artifact);
+  runtime::ModelArtifact loaded = runtime::load_artifact(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.cam_precision, cam::CamPrecision::Int8);
+
+  // ...and a Float32 CAM config defers to it when building the engine.
+  auto adopted = runtime::Engine::from_artifact(loaded, {runtime::ExecPath::Cam});
+  EXPECT_EQ(adopted->cam_precision(), cam::CamPrecision::Int8);
+
+  // An explicit config precision wins over the baked-in one (canary at a
+  // different point from the same artifact).
+  runtime::EngineConfig binary_config;
+  binary_config.path = runtime::ExecPath::Cam;
+  binary_config.cam_precision = cam::CamPrecision::Binary;
+  auto overridden = runtime::Engine::from_artifact(loaded, binary_config);
+  EXPECT_EQ(overridden->cam_precision(), cam::CamPrecision::Binary);
+
+  // Quantized CAM search on the float path is a configuration error.
+  runtime::EngineConfig bad;
+  bad.path = runtime::ExecPath::Float;
+  bad.cam_precision = cam::CamPrecision::Int8;
+  EXPECT_THROW(runtime::Engine::from_artifact(loaded, bad), std::invalid_argument);
+
+  // Both quantized engines still serve: same logits shape, finite values.
+  Rng data_rng(89);
+  Tensor batch = random_batch(data_rng, 2);
+  Tensor int8_logits = adopted->forward_batch(batch);
+  Tensor binary_logits = overridden->forward_batch(batch);
+  EXPECT_EQ(int8_logits.dim(1), 10);
+  EXPECT_EQ(binary_logits.dim(1), 10);
+  for (std::int64_t i = 0; i < int8_logits.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(int8_logits[i]));
+    ASSERT_TRUE(std::isfinite(binary_logits[i]));
+  }
+}
+
+TEST(ModelArtifact, QuantizedPrecisionDeltasStayWithinBudget) {
+  // End-to-end accuracy check of the quantized operating points on a
+  // TRAINED model (random weights would hide real quantization damage
+  // behind chance-level accuracy): int8 must track the float CAM path
+  // within 0.5 pt. The binary sign-plane is the capacity extreme — one bit
+  // per component through every CAM layer, with no binarization-aware
+  // training — so its documented budget is coarse: within 60 pt of float
+  // AND at least 3x the 10-class chance rate, i.e. the thresholded plane
+  // must retain real class information (a zero-information plane serves
+  // chance-level ~10%; see README "Performance" for the measured points).
+  Rng rng(97);
+  auto split = data::generate_split(data::mnist_like_spec(), 240, 80);
+  auto model = models::make_lenet5(models::Variant::PecanD, rng);
+  Rng km(41);
+  pq::kmeans_calibrate(*model, data::take(split.train, 48).images, 5, km);
+  nn::Adam opt(model->parameters(), 2e-3);
+  nn::DatasetView train{&split.train.images, &split.train.labels};
+  nn::DatasetView test{&split.test.images, &split.test.labels};
+  nn::TrainConfig train_config;
+  train_config.epochs = 6;
+  train_config.batch_size = 8;
+  train_config.shuffle_seed = 11;
+  train_config.evaluate_each_epoch = false;
+  nn::fit(*model, opt, train, test, train_config);
+  model->set_training(false);
+
+  const runtime::ModelArtifact artifact =
+      runtime::make_artifact("lenet5", models::Variant::PecanD, 10, *model);
+  const auto accuracy_at = [&](cam::CamPrecision precision) {
+    runtime::EngineConfig config;
+    config.path = runtime::ExecPath::Cam;
+    config.cam_precision = precision;
+    auto engine = runtime::Engine::from_artifact(artifact, config);
+    return nn::accuracy_percent(engine->forward_batch(split.test.images), split.test.labels);
+  };
+  const double float_acc = accuracy_at(cam::CamPrecision::Float32);
+  const double int8_acc = accuracy_at(cam::CamPrecision::Int8);
+  const double binary_acc = accuracy_at(cam::CamPrecision::Binary);
+  std::printf("[operating points] float=%.2f%% int8=%.2f%% binary=%.2f%%\n", float_acc, int8_acc,
+              binary_acc);
+
+  EXPECT_GT(float_acc, 50.0);  // the trained model must actually work
+  EXPECT_GE(int8_acc, float_acc - 0.5) << "float=" << float_acc << " int8=" << int8_acc;
+  EXPECT_GE(binary_acc, float_acc - 60.0) << "float=" << float_acc << " binary=" << binary_acc;
+  EXPECT_GE(binary_acc, 30.0) << "binary plane lost class information: " << binary_acc;
 }
 
 // ------------------------------------------------------------------ buffers

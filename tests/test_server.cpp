@@ -722,5 +722,39 @@ TEST(ModelArtifact, V1FileLoadsAsTensorsButIsNotAnArtifact) {
   std::remove(path.c_str());
 }
 
+TEST(Server, StatsReportCamPrecisionAcrossHotSwap) {
+  Rng rng(301);
+  auto trained = models::make_lenet5(models::Variant::PecanD, rng);
+  trained->set_training(false);
+  // Bake int8 into the artifact: a Float32 CAM config must adopt it.
+  const runtime::ModelArtifact artifact = runtime::make_artifact(
+      "lenet5", models::Variant::PecanD, 10, *trained, cam::CamPrecision::Int8);
+
+  runtime::Server server;
+  runtime::EngineConfig config;
+  config.path = runtime::ExecPath::Cam;
+  server.deploy("m", artifact, config);
+  EXPECT_EQ(server.stats("m").cam_precision, cam::CamPrecision::Int8);
+
+  // Hold a lease on generation 1 across the swap: the old engine keeps its
+  // operating point until the last lease drops, while stats() flips
+  // atomically with the generation.
+  std::shared_ptr<runtime::Engine> old_lease = server.lease("m");
+  runtime::EngineConfig binary_config = config;
+  binary_config.cam_precision = cam::CamPrecision::Binary;
+  const std::uint64_t generation = server.deploy("m", artifact, binary_config);
+  EXPECT_EQ(generation, 2u);
+  EXPECT_EQ(server.stats("m").cam_precision, cam::CamPrecision::Binary);
+  EXPECT_EQ(old_lease->cam_precision(), cam::CamPrecision::Int8);
+
+  // Both generations still answer real requests at their own precision.
+  Rng data(307);
+  Tensor batch = data.randn({1, 1, 28, 28});
+  EXPECT_EQ(server.forward_batch("m", batch).dim(1), 10);
+  EXPECT_EQ(old_lease->forward_batch(batch).dim(1), 10);
+  old_lease.reset();  // drop the last gen-1 lease; old engine unloads here
+  EXPECT_EQ(server.stats("m").cam_precision, cam::CamPrecision::Binary);
+}
+
 }  // namespace
 }  // namespace pecan
