@@ -15,9 +15,22 @@
 //     (float) and LeNet5-A (CAM) concurrently — per-model images/sec and
 //     latency with 1/2/4 clients per model, plus a reject-mode overload row
 //     that reports shed counts.
+//   * SLO open-loop sweep: 8 submit() clients driving a reject-mode server
+//     at 2x its measured capacity on COORDINATED-OMISSION-FREE Poisson (and
+//     bursty) arrival schedules — each client's sender follows its
+//     pre-computed schedule no matter how far completions lag, and every
+//     latency is measured from the request's SCHEDULED arrival, so a stall
+//     penalizes the tail instead of pausing the workload (mirroring
+//     bench_net_throughput's open loop). Run once with a fixed batching
+//     config and once with the adaptive SLO controller + 4 priority
+//     classes (2 high-priority clients, 6 low): the slo/... rows record
+//     fixed-vs-adaptive p99, the high-vs-low priority gap, and which class
+//     the sheds landed on — the rows bench/check_bench.py gates (absolute
+//     p99 ceilings + ratio floors) against BENCH_runtime.json.
 //
 // --json <path> writes every row (img/s, p50/p99 ms, shed counts) as a
 // machine-readable file; CI uploads it next to BENCH_kernels.json.
+// --smoke shrinks every knob to CI size (and implies --skip-vgg).
 //
 // Weights are randomly initialized — arithmetic cost is shape-determined,
 // so trained weights would time identically. Defaults are sized for a CI
@@ -30,6 +43,7 @@
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +53,7 @@
 #include "runtime/engine.hpp"
 #include "runtime/server.hpp"
 #include "tensor/rng.hpp"
+#include "util/bounded_queue.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -424,16 +439,288 @@ void run_server_sweep(std::int64_t requests_per_client, std::int64_t max_batch) 
   g_json_rows.push_back(row);
 }
 
+// ------------------------------------------------------ SLO open-loop sweep
+
+using Clock = std::chrono::steady_clock;
+
+/// Poisson arrivals: exponential inter-arrival gaps at `rate` req/s.
+std::vector<double> poisson_schedule(std::size_t n, double rate, std::uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::exponential_distribution<double> gap(rate);
+  std::vector<double> offsets;
+  offsets.reserve(n);
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += gap(gen);
+    offsets.push_back(t);
+  }
+  return offsets;
+}
+
+/// Bursty arrivals: `burst` simultaneous requests every `burst / rate`
+/// seconds — same average rate as the Poisson stream, maximally clumped.
+std::vector<double> bursty_schedule(std::size_t n, double rate, std::size_t burst) {
+  std::vector<double> offsets;
+  offsets.reserve(n);
+  const double gap = static_cast<double>(burst) / rate;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets.push_back(static_cast<double>(i / burst) * gap);
+  }
+  return offsets;
+}
+
+/// One open-loop client: priority class, arrival schedule, and what it saw.
+struct OpenClient {
+  std::int64_t priority = 0;
+  std::vector<double> offsets_s;
+  std::vector<double> latencies_ms;  ///< completed requests only
+  long long shed = 0;                ///< submit rejections + evicted futures
+};
+
+/// Drives every client's schedule against `server` concurrently. Per client,
+/// a SENDER thread follows the pre-computed arrival schedule no matter how
+/// far completions lag (an overloaded server cannot slow the workload down —
+/// the coordinated-omission trap), handing accepted futures to a COLLECTOR
+/// thread; each latency runs from the request's SCHEDULED arrival to future
+/// completion. A request sheds either at submit() (queue full) or at
+/// future.get() (evicted by a higher class); both count as `shed`.
+void run_open_clients(runtime::Server& server, const std::string& model, const Tensor& samples,
+                      std::vector<OpenClient>& clients) {
+  const std::int64_t sample_numel = samples.numel() / samples.dim(0);
+  const auto nth = [&](std::int64_t s) {
+    Tensor sample({samples.dim(1), samples.dim(2), samples.dim(3)});
+    std::copy(samples.data() + (s % samples.dim(0)) * sample_numel,
+              samples.data() + (s % samples.dim(0) + 1) * sample_numel, sample.data());
+    return sample;
+  };
+  struct InFlight {
+    Clock::time_point arrival;
+    std::future<Tensor> future;
+  };
+  // Lead-in so the first arrivals are not already in the past.
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(20);
+
+  std::vector<std::thread> threads;
+  for (OpenClient& client : clients) {
+    threads.emplace_back([&, t0] {
+      util::BoundedQueue<InFlight> handoff;  // unbounded sender->collector
+      std::atomic<long long> evicted{0};
+      std::thread collector([&] {
+        std::vector<InFlight> batch;
+        for (;;) {
+          batch.clear();
+          if (handoff.pop_batch(batch, 64, std::chrono::microseconds(0), 1,
+                                [](const InFlight&, const InFlight&) { return true; }) == 0) {
+            return;
+          }
+          for (InFlight& item : batch) {
+            try {
+              item.future.get();
+              client.latencies_ms.push_back(
+                  std::chrono::duration<double, std::milli>(Clock::now() - item.arrival).count());
+            } catch (const runtime::OverloadedError&) {
+              evicted.fetch_add(1);  // accepted, then shed by a higher class
+            }
+          }
+        }
+      });
+      for (std::size_t i = 0; i < client.offsets_s.size(); ++i) {
+        const Clock::time_point arrival =
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(client.offsets_s[i]));
+        std::this_thread::sleep_until(arrival);
+        try {
+          InFlight item{arrival,
+                        server.submit(model, nth(static_cast<std::int64_t>(i)), client.priority)};
+          handoff.push(item);
+        } catch (const runtime::OverloadedError&) {
+          ++client.shed;
+        }
+      }
+      handoff.close();
+      collector.join();
+      client.shed += evicted.load();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+/// Merges the latency vectors of every client whose priority satisfies
+/// `want` (negative = all classes).
+std::vector<double> merged_latencies(const std::vector<OpenClient>& clients, std::int64_t want) {
+  std::vector<double> all;
+  for (const OpenClient& c : clients) {
+    if (want >= 0 && c.priority != want) continue;
+    all.insert(all.end(), c.latencies_ms.begin(), c.latencies_ms.end());
+  }
+  return all;
+}
+
+long long merged_shed(const std::vector<OpenClient>& clients, std::int64_t want) {
+  long long total = 0;
+  for (const OpenClient& c : clients) {
+    if (want < 0 || c.priority == want) total += c.shed;
+  }
+  return total;
+}
+
+void emit_slo_row(const char* label, const std::string& name, const std::vector<double>& lats,
+                  long long shed, double speedup) {
+  const double p50 = percentile(lats, 0.50), p99 = percentile(lats, 0.99);
+  std::printf("%-22s %9.3f %9.3f %6lld %8s\n", label, p50, p99, shed,
+              speedup >= 0 ? (std::to_string(speedup).substr(0, 4) + "x").c_str() : "-");
+  std::fflush(stdout);
+  JsonRow row;
+  row.name = name;
+  row.p50_ms = p50;
+  row.p99_ms = p99;
+  row.shed = shed;
+  row.speedup = speedup;
+  g_json_rows.push_back(row);
+}
+
+/// The SLO sweep: measures closed-loop capacity, then drives 8 open-loop
+/// clients at 2x that rate — once against fixed batching knobs, once with
+/// the adaptive controller + priority classes. The interesting comparisons
+/// (adaptive p99 vs fixed p99, low-class p99 vs high-class p99, low-class
+/// sheds vs high-class sheds) land in the speedup column so check_bench.py
+/// can hold ratio floors against them; the adaptive rows also carry
+/// absolute p99 ceilings in the checked-in reference.
+void run_slo_sweep(std::int64_t per_client, double slo_ms) {
+  util::set_global_threads(1);  // inline kernels: service time is the batcher's
+  constexpr int kClients = 8;
+  constexpr int kHiClients = 2;  // clients 0..1 high class, 2..7 default class
+  constexpr std::int64_t kHiClass = 3;
+  Rng data_rng(7177);
+  const Tensor samples = data_rng.randn({8, 1, 28, 28});
+  const auto build_lenet = [] {
+    Rng rng(99);
+    return models::make_lenet5(models::Variant::PecanD, rng);
+  };
+
+  runtime::EngineConfig fixed_config;
+  fixed_config.max_batch = 8;
+  fixed_config.batch_wait = std::chrono::microseconds(200);
+  fixed_config.max_pending = 128;
+  fixed_config.backpressure = runtime::Backpressure::Reject;
+
+  // Closed-loop capacity probe: how fast the fixed config drains a backlog.
+  double capacity_rps;
+  {
+    runtime::EngineConfig probe_config = fixed_config;
+    probe_config.max_pending = 0;  // unbounded: the probe must not shed
+    runtime::Server server;
+    server.deploy("m", build_lenet(), probe_config);
+    const std::int64_t probe = std::max<std::int64_t>(64, per_client);
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(static_cast<std::size_t>(probe));
+    util::Timer timer;
+    for (std::int64_t r = 0; r < probe; ++r) {
+      Tensor sample({1, 28, 28});
+      std::copy(samples.data() + (r % 8) * 28 * 28, samples.data() + (r % 8 + 1) * 28 * 28,
+                sample.data());
+      futures.push_back(server.submit("m", std::move(sample)));
+    }
+    for (auto& future : futures) future.get();
+    capacity_rps = static_cast<double>(probe) / timer.elapsed_s();
+  }
+  const double rate = 2.0 * capacity_rps;  // deliberate overload
+  const double client_rate = rate / kClients;
+
+  std::printf("\nSLO open-loop sweep (8 clients, %.0f req/s = 2x measured capacity, "
+              "%lld req/client,\n  latency from scheduled arrival, slo_target=%.0f ms):\n",
+              rate, static_cast<long long>(per_client), slo_ms);
+  std::printf("%-22s %9s %9s %6s %8s\n", "row", "p50 ms", "p99 ms", "shed", "ratio");
+
+  const auto make_clients = [&](bool bursty) {
+    std::vector<OpenClient> clients(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients[static_cast<std::size_t>(c)].priority = c < kHiClients ? kHiClass : 0;
+      clients[static_cast<std::size_t>(c)].offsets_s =
+          bursty ? bursty_schedule(static_cast<std::size_t>(per_client), client_rate, 16)
+                 : poisson_schedule(static_cast<std::size_t>(per_client), client_rate,
+                                    42 + static_cast<std::uint64_t>(c));
+    }
+    return clients;
+  };
+
+  // Fixed baseline: same admission limits, no controller, one class.
+  std::vector<double> fixed_lats;
+  long long fixed_shed = 0;
+  {
+    runtime::Server server;
+    server.deploy("m", build_lenet(), fixed_config);
+    std::vector<OpenClient> clients = make_clients(false);
+    for (OpenClient& c : clients) c.priority = 0;  // single class
+    run_open_clients(server, "m", samples, clients);
+    fixed_lats = merged_latencies(clients, -1);
+    fixed_shed = merged_shed(clients, -1);
+    emit_slo_row("fixed", "slo/open8/fixed", fixed_lats, fixed_shed, -1);
+  }
+
+  runtime::EngineConfig adaptive_config = fixed_config;
+  adaptive_config.priority_classes = 4;
+  adaptive_config.slo_target_ms = slo_ms;
+  adaptive_config.ctl_min_batch = 1;
+
+  // Adaptive: the controller shrinks the micro-batch and caps queue depth
+  // against the SLO while high-class requests jump the line.
+  {
+    runtime::Server server;
+    server.deploy("m", build_lenet(), adaptive_config);
+    std::vector<OpenClient> clients = make_clients(false);
+    run_open_clients(server, "m", samples, clients);
+    const std::vector<double> all = merged_latencies(clients, -1);
+    const std::vector<double> hi = merged_latencies(clients, kHiClass);
+    const std::vector<double> lo = merged_latencies(clients, 0);
+    const long long hi_shed = merged_shed(clients, kHiClass);
+    const long long lo_shed = merged_shed(clients, 0);
+    const double adaptive_p99 = percentile(all, 0.99);
+    emit_slo_row("adaptive", "slo/open8/adaptive", all, hi_shed + lo_shed,
+                 adaptive_p99 > 0 ? percentile(fixed_lats, 0.99) / adaptive_p99 : -1);
+    emit_slo_row("adaptive/hi", "slo/open8/adaptive/hi", hi, hi_shed, -1);
+    emit_slo_row("adaptive/lo", "slo/open8/adaptive/lo", lo, lo_shed, -1);
+    // Priority gap: low-class p99 over high-class p99 (>1 = classes work).
+    JsonRow gap;
+    gap.name = "slo/open8/priority-gap";
+    gap.speedup = percentile(hi, 0.99) > 0 ? percentile(lo, 0.99) / percentile(hi, 0.99) : -1;
+    g_json_rows.push_back(gap);
+    // Shed skew: low-class sheds over high-class sheds, +1-smoothed
+    // (>=1 = the queue sheds its LOWEST class first, the admission
+    // contract).
+    JsonRow skew;
+    skew.name = "slo/open8/shed-skew";
+    skew.speedup = static_cast<double>(lo_shed + 1) / static_cast<double>(hi_shed + 1);
+    g_json_rows.push_back(skew);
+    std::printf("%-22s %9s %9s %6s %7.2fx\n", "priority-gap (lo/hi)", "-", "-", "-", gap.speedup);
+    std::printf("%-22s %9s %9s %6s %7.2fx\n", "shed-skew (lo/hi)", "-", "-", "-", skew.speedup);
+    std::fflush(stdout);
+  }
+
+  // Bursty arrivals against the adaptive config — report-only (burst clumps
+  // make the tail noisy by construction).
+  {
+    runtime::Server server;
+    server.deploy("m", build_lenet(), adaptive_config);
+    std::vector<OpenClient> clients = make_clients(true);
+    run_open_clients(server, "m", samples, clients);
+    emit_slo_row("adaptive/bursty", "slo/open8/bursty", merged_latencies(clients, -1),
+                 merged_shed(clients, -1), -1);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
-  const int threads = static_cast<int>(args.get_int("threads", 4));
+  // --smoke shrinks every knob to CI size; explicit flags still override.
+  const bool smoke = args.get_bool("smoke", false);
+  const int threads = static_cast<int>(args.get_int("threads", smoke ? 2 : 4));
   const std::int64_t batch = args.get_int("batch", 8);
-  const std::int64_t lenet_samples = args.get_int("lenet-samples", 64);
+  const std::int64_t lenet_samples = args.get_int("lenet-samples", smoke ? 16 : 64);
   const std::int64_t vgg_samples = args.get_int("vgg-samples", 4);
-  const std::int64_t latency_requests = args.get_int("latency-requests", 24);
-  const bool skip_vgg = args.get_bool("skip-vgg", false);
+  const std::int64_t latency_requests = args.get_int("latency-requests", smoke ? 8 : 24);
+  const bool skip_vgg = args.get_bool("skip-vgg", smoke);
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("runtime serving bench: threads=%d batch=%lld (hardware_concurrency=%u)\n", threads,
@@ -465,7 +752,7 @@ int main(int argc, char** argv) {
 
   // Concurrent-clients sweep: the acceptance gate for the stateless infer
   // path is >1.5x at 4 clients on the Float path (given the hardware).
-  const std::int64_t rounds = args.get_int("client-rounds", 4);
+  const std::int64_t rounds = args.get_int("client-rounds", smoke ? 2 : 4);
   // Kernels run inline (1-thread pool) so the sweep isolates CLIENT-level
   // parallelism — exactly what the old per-engine exec mutex serialized.
   util::set_global_threads(1);
@@ -479,12 +766,16 @@ int main(int argc, char** argv) {
   // Batch sharding: the acceptance sweep for one big request using the
   // pool's client-level parallelism (8 threads per the issue's criterion;
   // override with --shard-threads on narrower CI machines).
-  run_shard_sweep(static_cast<int>(args.get_int("shard-threads", 8)),
+  run_shard_sweep(static_cast<int>(args.get_int("shard-threads", smoke ? 2 : 8)),
                   args.get_int("shard-rounds", 2));
 
   // Multi-model server: both models live in one process, kernels threaded.
   util::set_global_threads(threads);
-  run_server_sweep(args.get_int("server-requests", 24), batch);
+  run_server_sweep(args.get_int("server-requests", smoke ? 16 : 24), batch);
+
+  // SLO open-loop sweep: fixed vs adaptive micro-batching at 2x capacity.
+  run_slo_sweep(args.get_int("slo-requests", smoke ? 40 : 300),
+                static_cast<double>(args.get_int("slo-ms", 25)));
 
   const std::string json_path = args.get("json", "");
   if (!json_path.empty()) write_json(json_path, threads);

@@ -16,9 +16,13 @@ shift ratios by tens of percent in either direction, which is why the gate
 only fires at 0.5x (measured smoke-vs-full drift on a native build stays
 within 0.7-1.5x).
 
-Per-row gate floors: a reference row may carry a ``"gate"`` object with
-``min_speedup`` and/or ``min_gb_per_s`` — ABSOLUTE floors the current run
-must clear on top of the ratio check. The quantized CAM rows use this: their
+Per-row gate floors and ceilings: a reference row may carry a ``"gate"``
+object with ``min_speedup`` and/or ``min_gb_per_s`` — ABSOLUTE floors the
+current run must clear on top of the ratio check — and/or ``max_p99_ms`` /
+``max_shed`` — ABSOLUTE ceilings (the SLO rows use these: an adaptive
+scheduler whose open-loop p99 blows through its ceiling, or whose
+high-priority class starts shedding, is a regression even if every ratio
+still looks fine). The quantized CAM rows use this: their
 speedup is measured against the blocked float kernel in the same process
 (int8/binary must stay genuinely faster than float, not just "not slower
 than last time"), and their GB/s floor catches a quantized path that fell
@@ -43,6 +47,18 @@ with runner hardware — it only drifts with core count and scheduler noise,
 which the 0.5x floor absorbs. Pass ``--gate-prefix shard/`` for that file:
 its other speedup-bearing rows (threaded-vs-serial, client scaling) measure
 the RUNNER's parallelism, not the code, and must stay report-only.
+
+BENCH_runtime.json's `slo/...` rows gate the SLO scheduler the same way
+(``--gate-prefix slo/``): their speedups are fixed-vs-adaptive p99,
+low-vs-high-class p99, and low-vs-high-class shed ratios — all measured in
+one process at a rate derived from the machine's own capacity, so they hold
+across runners where absolute latency does not. Their reference rows omit
+the ``speedup`` key on purpose: open-loop tail ratios are too noisy for the
+0.5x relative check, so only the absolute ``gate`` bounds apply.
+
+``--selftest`` runs the gate against built-in fixtures (each bound checked
+in BOTH directions: a run that clears it and a run that trips it) and exits
+nonzero on any mismatch; CI runs it as a unit test of this file.
 
 Usage:
   check_bench.py --current build/BENCH_kernels.json \
@@ -115,13 +131,70 @@ def check_row(name, ref_row, cur_row, min_ratio, failures):
                            "MISSING" if cur_gb is None else f"{cur_gb:.2f}"))
             verdict = "FAIL"
 
+    max_p99 = gate.get("max_p99_ms")
+    if max_p99 is not None:
+        cur_p99 = cur_row.get("p99_ms")
+        if cur_p99 is None or cur_p99 > max_p99:
+            failures.append(
+                RowFailure(name, "p99_ms", f"<= {max_p99}",
+                           "MISSING" if cur_p99 is None else f"{cur_p99:.2f}"))
+            verdict = "FAIL"
+
+    max_shed = gate.get("max_shed")
+    if max_shed is not None:
+        cur_shed = cur_row.get("shed")
+        if cur_shed is None or cur_shed > max_shed:
+            failures.append(
+                RowFailure(name, "shed", f"<= {max_shed}",
+                           "MISSING" if cur_shed is None else f"{cur_shed}"))
+            verdict = "FAIL"
+
     return verdict
+
+
+def selftest():
+    """Exercises every gate bound in both directions against fixtures."""
+    cases = [
+        # (description, reference row, current row, expect_failures)
+        ("ratio pass", {"speedup": 2.0}, {"speedup": 1.2}, 0),
+        ("ratio trip", {"speedup": 2.0}, {"speedup": 0.9}, 1),
+        ("min_speedup pass", {"gate": {"min_speedup": 1.1}}, {"speedup": 1.5}, 0),
+        ("min_speedup trip", {"gate": {"min_speedup": 1.1}}, {"speedup": 1.0}, 1),
+        ("min_gb pass", {"gate": {"min_gb_per_s": 4.0}}, {"gb_per_s": 6.0}, 0),
+        ("min_gb trip", {"gate": {"min_gb_per_s": 4.0}}, {"gb_per_s": 3.0}, 1),
+        ("max_p99 pass", {"gate": {"max_p99_ms": 100.0}}, {"p99_ms": 40.0}, 0),
+        ("max_p99 trip", {"gate": {"max_p99_ms": 100.0}}, {"p99_ms": 140.0}, 1),
+        ("max_p99 missing trips", {"gate": {"max_p99_ms": 100.0}}, {}, 1),
+        ("max_shed pass", {"gate": {"max_shed": 10}}, {"shed": 0}, 0),
+        ("max_shed trip", {"gate": {"max_shed": 10}}, {"shed": 50}, 1),
+        ("missing row trips", {"gate": {"max_p99_ms": 1.0}}, None, 1),
+        ("combined pass", {"gate": {"min_speedup": 1.0, "max_p99_ms": 50.0}},
+         {"speedup": 1.3, "p99_ms": 30.0}, 0),
+        ("combined trips both", {"gate": {"min_speedup": 1.0, "max_p99_ms": 50.0}},
+         {"speedup": 0.5, "p99_ms": 90.0}, 2),
+    ]
+    bad = 0
+    for description, ref_row, cur_row, expected in cases:
+        failures = []
+        check_row("fixture", ref_row, cur_row, 0.5, failures)
+        status = "ok" if len(failures) == expected else "MISMATCH"
+        if len(failures) != expected:
+            bad += 1
+        print(f"  {description:<28} expected {expected} failure(s), "
+              f"got {len(failures)}  {status}")
+    if bad:
+        print(f"\nselftest FAILED: {bad} case(s) mismatched.", file=sys.stderr)
+        return 1
+    print(f"\nselftest passed ({len(cases)} cases, every bound tripped and cleared).")
+    return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--current", required=True, help="freshly measured JSON")
-    parser.add_argument("--reference", required=True, help="checked-in reference JSON")
+    parser.add_argument("--selftest", action="store_true",
+                        help="check every gate bound in both directions and exit")
+    parser.add_argument("--current", help="freshly measured JSON")
+    parser.add_argument("--reference", help="checked-in reference JSON")
     parser.add_argument(
         "--min-ratio",
         type=float,
@@ -137,6 +210,11 @@ def main():
         "'qcam/' gates just the quantized CAM rows and their floors)",
     )
     args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.current or not args.reference:
+        parser.error("--current and --reference are required (unless --selftest)")
 
     current = load_results(args.current)
     reference = load_results(args.reference)

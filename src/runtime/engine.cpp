@@ -11,8 +11,6 @@
 namespace pecan::runtime {
 
 namespace {
-constexpr std::size_t kLatencyWindow = 1024;  ///< recent forwards kept for p50/p99
-
 /// Flattens nested Sequentials into a linear step list. Residual blocks
 /// stay single steps: their two branches are an internal fork/join, not a
 /// pipeline stage.
@@ -30,10 +28,37 @@ void flatten(const nn::Module& module, std::vector<const nn::Module*>& plan,
 Engine::Engine(std::unique_ptr<nn::Sequential> net, EngineConfig config)
     : net_(std::move(net)),
       config_(config),
-      queue_(config.max_pending > 0 ? static_cast<std::size_t>(config.max_pending) : 0) {
+      queue_(config.priority_classes > 0 ? static_cast<std::size_t>(config.priority_classes) : 1,
+             config.max_pending > 0 ? static_cast<std::size_t>(config.max_pending) : 0),
+      eff_batch_(config.max_batch),
+      eff_wait_us_(config.batch_wait.count()),
+      latency_(config.latency_window > 0 ? static_cast<std::size_t>(config.latency_window) : 1) {
   if (!net_) throw std::invalid_argument("Engine: null network");
   if (config_.max_batch < 1) throw std::invalid_argument("Engine: max_batch must be >= 1");
   if (config_.max_pending < 0) throw std::invalid_argument("Engine: max_pending must be >= 0");
+  if (config_.priority_classes < 1) {
+    throw std::invalid_argument("Engine: priority_classes must be >= 1");
+  }
+  if (config_.latency_window < 1) {
+    throw std::invalid_argument("Engine: latency_window must be >= 1");
+  }
+  if (config_.slo_target_ms < 0.0) {
+    throw std::invalid_argument("Engine: slo_target_ms must be >= 0");
+  }
+  if (config_.ctl_min_batch < 1) {
+    throw std::invalid_argument("Engine: ctl_min_batch must be >= 1");
+  }
+  // Resolve the controller ceilings: 0 = inherit the fixed knobs.
+  if (config_.ctl_max_batch == 0) config_.ctl_max_batch = config_.max_batch;
+  if (config_.ctl_max_wait.count() == 0) config_.ctl_max_wait = config_.batch_wait;
+  if (config_.ctl_max_batch < config_.ctl_min_batch) {
+    throw std::invalid_argument("Engine: ctl_max_batch must be >= ctl_min_batch");
+  }
+  stats_.classes.resize(static_cast<std::size_t>(config_.priority_classes));
+  class_latency_.reserve(static_cast<std::size_t>(config_.priority_classes));
+  for (std::int64_t c = 0; c < config_.priority_classes; ++c) {
+    class_latency_.emplace_back(static_cast<std::size_t>(config_.latency_window));
+  }
   net_->set_training(false);
   if (config_.cam_precision != cam::CamPrecision::Float32 && config_.path != ExecPath::Cam) {
     throw std::invalid_argument("Engine: cam_precision requires ExecPath::Cam");
@@ -45,7 +70,6 @@ Engine::Engine(std::unique_ptr<nn::Sequential> net, EngineConfig config)
     }
   }
   compile();
-  latency_window_.reserve(kLatencyWindow);
 }
 
 std::unique_ptr<Engine> Engine::from_artifact(const ModelArtifact& artifact, EngineConfig config) {
@@ -240,16 +264,21 @@ Tensor Engine::forward_batch(const Tensor& batch) {
   return out;
 }
 
-Tensor Engine::run_request(const Tensor& batch) {
-  // One PARENT request: wall-clock covers every shard it fans into, one
-  // latency sample lands in the window, and the shard counters record the
-  // fan-out — shared by forward_batch and the micro-batcher so the two
-  // serving paths can never drift in how they account sharding.
+Tensor Engine::run_request(const Tensor& batch, bool record) {
+  // One PARENT request: wall-clock covers every shard it fans into and the
+  // shard counters record the fan-out — shared by forward_batch and the
+  // micro-batcher so the two serving paths can never drift in how they
+  // account sharding. forward_batch records its wall time here as one
+  // sample; the micro-batcher passes record=false and accounts each
+  // coalesced sample end-to-end (queue wait included) at promise time.
   const auto start = std::chrono::steady_clock::now();
   std::int64_t shards = 1;
   Tensor out = run_sharded(batch, shards);
-  record_latency(
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count());
+  if (record) {
+    record_latency(std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                             start)
+                       .count());
+  }
   if (shards > 1) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.sharded_batches;
@@ -266,7 +295,7 @@ void Engine::ensure_batcher() {
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
-std::future<Tensor> Engine::submit(Tensor sample) {
+std::future<Tensor> Engine::submit(Tensor sample, std::int64_t priority) {
   if (sample.ndim() != 3) {
     throw std::invalid_argument("Engine::submit: expected a [C,H,W] sample, got " +
                                 shape_str(sample.shape()));
@@ -283,6 +312,8 @@ std::future<Tensor> Engine::submit(Tensor sample) {
                                 shape_str(config_.input_shape) + " sample, got " +
                                 shape_str(sample.shape()));
   }
+  const std::size_t cls = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(priority, 0, config_.priority_classes - 1));
   {
     // stopping_ check + batcher start are atomic: shutdown() sets stopping_
     // and claims the thread handle under the same mutex, so it can never
@@ -293,13 +324,21 @@ std::future<Tensor> Engine::submit(Tensor sample) {
   }
   Pending pending;
   pending.sample = std::move(sample);
+  pending.priority = cls;
+  pending.enqueued_at = std::chrono::steady_clock::now();
   std::future<Tensor> future = pending.promise.get_future();
+  // Reject mode sheds the lowest class first: a full queue evicts the newest
+  // queued sample of a class strictly below ours (we fail its promise below,
+  // outside the queue lock) rather than rejecting a more urgent arrival.
+  // With one class this degenerates to the plain reject path.
+  std::optional<Pending> evicted;
   const util::PushResult pushed = config_.backpressure == Backpressure::Reject
-                                      ? queue_.try_push(pending)
-                                      : queue_.push(pending);
+                                      ? queue_.try_push_evict(pending, cls, evicted)
+                                      : queue_.push(pending, cls);
   if (pushed == util::PushResult::Full) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.shed;
+    ++stats_.classes[cls].shed;
     throw OverloadedError("Engine::submit: pending queue full (max_pending=" +
                           std::to_string(config_.max_pending) + "), request shed");
   }
@@ -312,6 +351,16 @@ std::future<Tensor> Engine::submit(Tensor sample) {
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.requests;
+    ++stats_.classes[cls].requests;
+    if (evicted) {
+      ++stats_.shed;
+      ++stats_.classes[evicted->priority].shed;
+    }
+  }
+  if (evicted) {
+    evicted->promise.set_exception(std::make_exception_ptr(
+        OverloadedError("Engine::submit: shed by a higher-priority request (max_pending=" +
+                        std::to_string(config_.max_pending) + ")")));
   }
   return future;
 }
@@ -320,13 +369,18 @@ void Engine::batcher_loop() {
   std::vector<Pending> batch;
   for (;;) {
     batch.clear();
-    // Block for the first sample, wait batch_wait for stragglers, then
-    // coalesce the longest same-shape prefix (samples of a different shape
-    // stay queued for the next batch). Returns 0 only when the queue is
-    // closed AND drained, so every accepted request is executed.
+    // Block for the first sample, wait for stragglers, then coalesce the
+    // longest same-shape run — the queue serves the highest non-empty
+    // priority class at every pop, so coalescing crosses classes while
+    // precedence holds. Batch size and straggler wait are the CONTROLLER'S
+    // effective values, re-read each iteration (they equal the fixed config
+    // when slo_target_ms is off). Returns 0 only when the queue is closed
+    // AND drained, so every accepted request is executed.
+    const auto eff_batch =
+        static_cast<std::size_t>(eff_batch_.load(std::memory_order_relaxed));
+    const std::chrono::microseconds eff_wait{eff_wait_us_.load(std::memory_order_relaxed)};
     const std::size_t popped = queue_.pop_batch(
-        batch, static_cast<std::size_t>(config_.max_batch), config_.batch_wait,
-        static_cast<std::size_t>(config_.max_batch),
+        batch, eff_batch, eff_wait, eff_batch,
         [](const Pending& first, const Pending& candidate) {
           return first.sample.shape() == candidate.sample.shape();
         });
@@ -337,6 +391,7 @@ void Engine::batcher_loop() {
 
 void Engine::execute_pending(std::vector<Pending>& batch) {
   const std::int64_t b = static_cast<std::int64_t>(batch.size());
+  const auto exec_start = std::chrono::steady_clock::now();
   try {
     const Shape& sample_shape = batch.front().sample.shape();
     Shape batch_shape{b};
@@ -350,8 +405,9 @@ void Engine::execute_pending(std::vector<Pending>& batch) {
 
     // Micro-batches shard too (one coalesced batch = one parent request):
     // on a multi-lane pool a full micro-batch fans out across lanes, which
-    // cuts the tail latency of every straggler coalesced into it.
-    Tensor out = run_request(stacked);
+    // cuts the tail latency of every straggler coalesced into it. Latency
+    // is NOT recorded here: each sample is accounted end-to-end below.
+    Tensor out = run_request(stacked, /*record_latency=*/false);
     if (out.ndim() < 1 || out.dim(0) != b) {
       throw std::logic_error("Engine: network returned batch dim " +
                              shape_str(out.shape()) + " for batch of " + std::to_string(b));
@@ -363,14 +419,23 @@ void Engine::execute_pending(std::vector<Pending>& batch) {
       ++stats_.batches;
       stats_.batched_samples += static_cast<std::uint64_t>(b);
     }
+    const auto done = std::chrono::steady_clock::now();
     Shape row_shape(out.shape().begin() + 1, out.shape().end());
     const std::int64_t row_numel = out.numel() / b;
     for (std::int64_t i = 0; i < b; ++i) {
+      Pending& pending = batch[static_cast<std::size_t>(i)];
+      // End-to-end latency (queue wait + coalesce + execute), recorded into
+      // the global and per-class windows BEFORE the promise resolves so a
+      // client reading stats() right after get() sees its own sample.
+      record_request_latency(
+          std::chrono::duration<double, std::milli>(done - pending.enqueued_at).count(),
+          pending.priority);
       Tensor row(row_shape);
       std::memcpy(row.data(), out.data() + i * row_numel,
                   static_cast<std::size_t>(row_numel) * sizeof(float));
-      batch[static_cast<std::size_t>(i)].promise.set_value(std::move(row));
+      pending.promise.set_value(std::move(row));
     }
+    update_controller(std::chrono::duration<double, std::milli>(done - exec_start).count(), b);
   } catch (...) {
     for (Pending& pending : batch) pending.promise.set_exception(std::current_exception());
   }
@@ -410,12 +475,66 @@ void Engine::shutdown() {
 void Engine::record_latency(double ms) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.latency_samples;
-  if (latency_window_.size() < kLatencyWindow) {
-    latency_window_.push_back(ms);
-  } else {
-    latency_window_[latency_next_] = ms;
+  latency_.record(ms);
+}
+
+void Engine::record_request_latency(double ms, std::size_t cls) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.latency_samples;
+  latency_.record(ms);
+  class_latency_[cls].record(ms);
+}
+
+// ---------------------------------------------------------- SLO controller
+
+void Engine::update_controller(double batch_ms, std::int64_t batch_size) {
+  // Per-sample service time EWMA (batcher-thread-only state): how long ONE
+  // sample costs to execute, amortized over its micro-batch. This is the
+  // denominator of the depth cap — queue wait ≈ depth × ewma — so it must
+  // track the CURRENT operating point, not lifetime history.
+  const double per_sample = batch_ms / static_cast<double>(std::max<std::int64_t>(batch_size, 1));
+  ewma_sample_ms_ =
+      ewma_sample_ms_ == 0.0 ? per_sample : 0.8 * ewma_sample_ms_ + 0.2 * per_sample;
+  if (config_.slo_target_ms <= 0.0) return;
+
+  double p99;
+  std::size_t window_n;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    p99 = latency_.percentile(0.99);
+    window_n = latency_.size();
   }
-  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  const std::int64_t cur_batch = eff_batch_.load(std::memory_order_relaxed);
+  const std::int64_t cur_wait = eff_wait_us_.load(std::memory_order_relaxed);
+  // Multiplicative decrease near the SLO, growth only when the queue is deep
+  // enough to fill bigger batches AND the tail has real headroom — the
+  // classic AIMD-flavored asymmetry: back off fast, grow deliberately. The
+  // window gate keeps the controller from steering on a handful of samples.
+  if (window_n >= 8 && p99 > 0.85 * config_.slo_target_ms) {
+    eff_batch_.store(std::max(config_.ctl_min_batch, cur_batch / 2), std::memory_order_relaxed);
+    eff_wait_us_.store(cur_wait / 2, std::memory_order_relaxed);
+  } else if (window_n >= 8 && p99 < 0.6 * config_.slo_target_ms &&
+             static_cast<std::int64_t>(queue_.size()) >= cur_batch) {
+    eff_batch_.store(std::min(config_.ctl_max_batch, cur_batch * 2), std::memory_order_relaxed);
+    eff_wait_us_.store(
+        std::min<std::int64_t>(config_.ctl_max_wait.count(),
+                               std::max<std::int64_t>(cur_wait * 2, 50)),
+        std::memory_order_relaxed);
+  }
+  // Reject mode: derive the pending-depth cap that makes queue wait fit the
+  // SLO. Every queued sample costs ~ewma ms of wait, so capping depth at
+  // half the SLO's worth of samples bounds p99 near the target no matter
+  // how fast the hardware is — admission control does what batch-size
+  // tuning alone cannot once the queue is saturated.
+  if (config_.backpressure == Backpressure::Reject && config_.max_pending > 0 &&
+      ewma_sample_ms_ > 0.0) {
+    const double budget = 0.5 * config_.slo_target_ms;
+    auto cap = static_cast<std::int64_t>(budget / ewma_sample_ms_);
+    cap = std::clamp<std::int64_t>(cap, std::max<std::int64_t>(config_.ctl_min_batch, 1),
+                                   config_.max_pending);
+    depth_cap_.store(cap, std::memory_order_relaxed);
+    queue_.set_soft_capacity(static_cast<std::size_t>(cap));
+  }
 }
 
 EngineStats Engine::stats() const {
@@ -425,18 +544,24 @@ EngineStats Engine::stats() const {
     std::lock_guard<std::mutex> ctx_lock(ctx_mutex_);
     scratch_bytes = arena_profile_.bytes();
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  EngineStats snapshot = stats_;
+  EngineStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+    snapshot.p50_ms = latency_.percentile(0.50);
+    snapshot.p99_ms = latency_.percentile(0.99);
+    for (std::size_t c = 0; c < class_latency_.size(); ++c) {
+      snapshot.classes[c].p50_ms = class_latency_[c].percentile(0.50);
+      snapshot.classes[c].p99_ms = class_latency_[c].percentile(0.99);
+    }
+  }
   snapshot.scratch_bytes = scratch_bytes;
   snapshot.queue_depth = static_cast<std::int64_t>(queue_.size());
-  if (!latency_window_.empty()) {
-    std::vector<double> sorted = latency_window_;
-    std::sort(sorted.begin(), sorted.end());
-    const auto at = [&](double q) {
-      return sorted[static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1))];
-    };
-    snapshot.p50_ms = at(0.50);
-    snapshot.p99_ms = at(0.99);
+  snapshot.eff_max_batch = eff_batch_.load(std::memory_order_relaxed);
+  snapshot.eff_batch_wait_us = eff_wait_us_.load(std::memory_order_relaxed);
+  snapshot.depth_cap = depth_cap_.load(std::memory_order_relaxed);
+  for (std::size_t c = 0; c < snapshot.classes.size(); ++c) {
+    snapshot.classes[c].depth = static_cast<std::int64_t>(queue_.depth(c));
   }
   return snapshot;
 }

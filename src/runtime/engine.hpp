@@ -14,10 +14,14 @@
 //     coalesces into micro-batches (up to max_batch, waiting at most
 //     batch_wait for stragglers) and answers through futures — the classic
 //     serving-side latency/throughput trade. The pending queue is a
-//     util::BoundedQueue: with max_pending set, a full queue either blocks
-//     the submitter (Backpressure::Block) or sheds the request with
-//     OverloadedError (Backpressure::Reject) — the admission-control knob
-//     the multi-model runtime::Server exposes per model.
+//     util::PriorityBucketQueue: K priority classes drained highest-first,
+//     and with max_pending set a full queue either blocks the submitter
+//     (Backpressure::Block) or sheds the LOWEST class first
+//     (Backpressure::Reject, OverloadedError) — the admission-control knobs
+//     the multi-model runtime::Server exposes per model. With slo_target_ms
+//     set, an adaptive controller steers the effective micro-batch size,
+//     straggler wait, and (Reject mode) pending-depth cap off the windowed
+//     end-to-end p99 so tail latency tracks the SLO under load.
 //
 // Concurrency model: the network is immutable after compile() and every
 // forward executes through the stateless Module::infer path, with all
@@ -40,6 +44,7 @@
 // infer() touches no shared mutable state (asserted by test_runtime).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -54,6 +59,7 @@
 #include "nn/module.hpp"
 #include "runtime/model_artifact.hpp"
 #include "util/bounded_queue.hpp"
+#include "util/latency_window.hpp"
 
 namespace pecan::runtime {
 
@@ -111,6 +117,48 @@ struct EngineConfig {
   /// lanes. Float32 here defers to the precision baked into a deployed
   /// artifact (if any); Int8/Binary override it.
   cam::CamPrecision cam_precision = cam::CamPrecision::Float32;
+  /// Priority classes for submit(): class indices 0..priority_classes-1,
+  /// HIGHER = more urgent, 0 = default (what every legacy caller gets). The
+  /// batcher drains the highest non-empty class first, and Reject-mode
+  /// admission sheds the lowest class first — an urgent request arriving at
+  /// a full queue evicts the newest low-priority sample instead of being
+  /// rejected itself (the evicted future fails with OverloadedError). 1 =
+  /// today's single-class behavior, bit for bit.
+  std::int64_t priority_classes = 1;
+  /// Tail-latency SLO the adaptive batching controller steers toward, in
+  /// milliseconds over submit() end-to-end latency (queue wait + coalesce +
+  /// execute). 0 = controller off: max_batch/batch_wait stay fixed. When on,
+  /// the controller grows the effective micro-batch size and straggler wait
+  /// while the windowed p99 is comfortably under the SLO and cuts them as
+  /// p99 approaches it; in Reject mode it additionally derives a pending-
+  /// depth cap from the SLO and the EWMA per-sample service time, so queue
+  /// wait — the term that actually explodes under overload — stays bounded.
+  /// Batching still never crosses samples: the controller only moves WHICH
+  /// requests share a micro-batch, never how any sample is computed, so
+  /// per-sample outputs stay bitwise-identical at every setting.
+  double slo_target_ms = 0.0;
+  /// Controller bounds (used only when slo_target_ms > 0): the effective
+  /// batch size moves within [ctl_min_batch, ctl_max_batch] and the
+  /// effective straggler wait within [0, ctl_max_wait]. 0 for the maxima
+  /// means "inherit max_batch / batch_wait".
+  std::int64_t ctl_min_batch = 1;
+  std::int64_t ctl_max_batch = 0;
+  std::chrono::microseconds ctl_max_wait{0};
+  /// Sliding-window size (samples) of the latency estimator behind
+  /// EngineStats::p50/p99 and the controller — percentiles describe the most
+  /// recent `latency_window` requests, not lifetime history.
+  std::int64_t latency_window = 1024;
+};
+
+/// Per-priority-class serving counters (EngineStats::classes, index =
+/// class). Latency percentiles cover submit() end-to-end time for samples of
+/// that class over the same bounded window as the global estimator.
+struct EngineClassStats {
+  std::uint64_t requests = 0;  ///< samples accepted at this class
+  std::uint64_t shed = 0;      ///< samples shed FROM this class (rejects + evictions)
+  std::int64_t depth = 0;      ///< samples of this class pending at snapshot time
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 struct EngineStats {
@@ -120,18 +168,26 @@ struct EngineStats {
   std::uint64_t direct_batches = 0;   ///< forward_batch() calls
   std::uint64_t sharded_batches = 0;  ///< forwards that split into >1 sample shard
   std::uint64_t shard_executions = 0; ///< shard sub-executions across sharded forwards
-  std::uint64_t latency_samples = 0;  ///< forwards measured into the latency window:
-                                      ///< one per PARENT request — shards are
-                                      ///< attributed to their parent, never counted
-                                      ///< as independent requests
-  std::uint64_t shed = 0;             ///< submits rejected by admission control
+  std::uint64_t latency_samples = 0;  ///< samples measured into the latency window:
+                                      ///< one per forward_batch() call (wall time;
+                                      ///< shards attribute to their parent) plus one
+                                      ///< per submit()ed sample (END-TO-END: queue
+                                      ///< wait + coalesce + execute)
+  std::uint64_t shed = 0;             ///< submits shed by admission control
+                                      ///< (rejections + lowest-class evictions)
   std::int64_t queue_depth = 0;       ///< samples pending at snapshot time
   std::int64_t in_flight = 0;         ///< executions in flight at snapshot time (shards count)
   std::int64_t peak_in_flight = 0;    ///< max concurrent executions observed
   std::int64_t contexts = 0;          ///< InferContexts materialized (= peak concurrency)
   std::int64_t scratch_bytes = 0;     ///< merged high-water arena profile (per context)
-  double p50_ms = 0.0;                ///< parent-request latency, median (recent window)
-  double p99_ms = 0.0;                ///< parent-request latency, 99th percentile
+  double p50_ms = 0.0;                ///< request latency, median (recent window)
+  double p99_ms = 0.0;                ///< request latency, 99th percentile
+  // SLO controller state (meaningful when EngineConfig::slo_target_ms > 0;
+  // otherwise eff_* mirror the fixed config and depth_cap is 0 = none).
+  std::int64_t eff_max_batch = 0;      ///< micro-batch cap the batcher is using now
+  std::int64_t eff_batch_wait_us = 0;  ///< straggler wait it is using now (µs)
+  std::int64_t depth_cap = 0;          ///< SLO-derived pending-depth cap (Reject mode)
+  std::vector<EngineClassStats> classes;  ///< per-priority-class counters (size = K)
 };
 
 class Engine {
@@ -157,11 +213,18 @@ class Engine {
   /// the future yields its logits row ([classes]) or rethrows the execution
   /// error. The batcher thread starts lazily on first use.
   ///
+  /// `priority` selects the class (0 = default/lowest, clamped to
+  /// [0, priority_classes-1]): the batcher always drains the highest
+  /// non-empty class first, so urgent samples overtake queued bulk traffic.
+  ///
   /// Admission control: with max_pending > 0 the pending queue is bounded —
   /// a full queue makes submit() wait for a slot (Backpressure::Block) or
-  /// throw OverloadedError without queuing (Backpressure::Reject). Every
-  /// accepted sample is always answered, even across shutdown.
-  std::future<Tensor> submit(Tensor sample);
+  /// shed the LOWEST class first (Backpressure::Reject): the newest queued
+  /// sample of a class strictly below `priority` is evicted (its future
+  /// fails with OverloadedError) to admit this one; if this sample is itself
+  /// lowest, submit() throws OverloadedError without queuing. Every accepted
+  /// sample is always answered, even across shutdown.
+  std::future<Tensor> submit(Tensor sample, std::int64_t priority = 0);
 
   /// Drains pending requests, answers them, and stops the batcher thread.
   /// Idempotent and safe to race with submit(): a concurrent submit()
@@ -187,6 +250,10 @@ class Engine {
   struct Pending {
     Tensor sample;
     std::promise<Tensor> promise;
+    std::size_t priority = 0;
+    /// submit() timestamp: end-to-end latency (queue wait + coalesce +
+    /// execute) is measured from here to promise resolution.
+    std::chrono::steady_clock::time_point enqueued_at{};
   };
 
   /// RAII lease of one InferContext from the engine's free-list; also
@@ -207,9 +274,12 @@ class Engine {
   const nn::Module& active() const { return export_.net ? *export_.net : *net_; }
   Tensor run_plan(const Tensor& batch);
   /// One parent request (a forward_batch call or one coalesced
-  /// micro-batch): runs sharded, records ONE latency sample, bumps the
-  /// shard counters.
-  Tensor run_request(const Tensor& batch);
+  /// micro-batch): runs sharded and bumps the shard counters. With
+  /// `record_latency` (the forward_batch path) its wall time lands in the
+  /// latency window as ONE sample; the micro-batch path passes false and
+  /// instead records each coalesced sample's END-TO-END latency at promise
+  /// resolution.
+  Tensor run_request(const Tensor& batch, bool record_latency = true);
   /// Sharded execution: splits `batch` into sample shards per
   /// config_.shard_samples and runs each as an independent in-flight
   /// execution over the global pool, stitching rows back in order. Returns
@@ -224,6 +294,14 @@ class Engine {
   void execute_pending(std::vector<Pending>& batch);
   void ensure_batcher();
   void record_latency(double ms);
+  /// Records one submit()ed sample's end-to-end latency into the global and
+  /// its class's sliding windows.
+  void record_request_latency(double ms, std::size_t cls);
+  /// SLO controller step, run on the batcher thread after each micro-batch:
+  /// folds the batch's per-sample service time into the EWMA, then steers
+  /// eff_batch_/eff_wait_us_ (and, in Reject mode, the queue's soft depth
+  /// cap) off the windowed end-to-end p99 versus slo_target_ms.
+  void update_controller(double batch_ms, std::int64_t batch_size);
 
   std::unique_ptr<nn::Sequential> net_;
   cam::CamNetworkExport export_;  ///< .net is null on the Float path
@@ -243,23 +321,32 @@ class Engine {
   std::vector<nn::InferContext*> free_contexts_;
   nn::ScratchArena::Profile arena_profile_;
 
-  // Bounded pending queue (admission control) + the batcher that consumes
-  // it. batcher_mutex_ guards the thread handle and stopping_; the queue has
-  // its own internal lock. Shutdown ordering: set stopping_ and claim the
-  // handle under batcher_mutex_ (so a racing submit() either started the
-  // batcher before — we join it — or observes stopping_ and throws), then
-  // close the queue, join, and answer any leftovers.
-  util::BoundedQueue<Pending> queue_;
+  // Priority-bucketed pending queue (admission control + class precedence)
+  // + the batcher that consumes it. batcher_mutex_ guards the thread handle
+  // and stopping_; the queue has its own internal lock. Shutdown ordering:
+  // set stopping_ and claim the handle under batcher_mutex_ (so a racing
+  // submit() either started the batcher before — we join it — or observes
+  // stopping_ and throws), then close the queue, join, and answer any
+  // leftovers.
+  util::PriorityBucketQueue<Pending> queue_;
   std::mutex batcher_mutex_;
   std::thread batcher_;
   bool batcher_running_ = false;
   bool stopping_ = false;
   std::mutex shutdown_mutex_;  ///< serializes concurrent shutdown() joiners
 
+  // SLO controller outputs, written by the batcher thread and read by the
+  // batcher's own pop loop + stats(). Atomics because stats() snapshots
+  // concurrently with controller updates.
+  std::atomic<std::int64_t> eff_batch_;
+  std::atomic<std::int64_t> eff_wait_us_;
+  std::atomic<std::int64_t> depth_cap_{0};
+  double ewma_sample_ms_ = 0.0;  ///< batcher-thread-only EWMA of per-sample service time
+
   mutable std::mutex stats_mutex_;
   EngineStats stats_;
-  std::vector<double> latency_window_;  ///< ring of recent forward latencies (ms)
-  std::size_t latency_next_ = 0;
+  util::LatencyWindow latency_;                     ///< recent request latencies (ms)
+  std::vector<util::LatencyWindow> class_latency_;  ///< per-class submit() e2e latencies
 };
 
 }  // namespace pecan::runtime

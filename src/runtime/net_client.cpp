@@ -30,11 +30,12 @@ NetClient::NetClient(const std::string& host, std::uint16_t port, int timeout_ms
     : fd_(util::tcp_connect(host, port, timeout_ms)) {}
 
 std::uint64_t NetClient::send_frame(wire::Opcode op, const std::string& model,
-                                    const Tensor* tensor, std::string_view text) {
+                                    const Tensor* tensor, std::string_view text,
+                                    std::uint8_t priority) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::uint8_t> out;
   if (tensor != nullptr) {
-    wire::encode_tensor_frame(out, op, wire::Status::Ok, id, model, *tensor);
+    wire::encode_tensor_frame(out, op, wire::Status::Ok, id, model, *tensor, priority);
   } else {
     wire::encode_frame(out, op, wire::Status::Ok, id, model, text);
   }
@@ -46,12 +47,14 @@ std::uint64_t NetClient::send_frame(wire::Opcode op, const std::string& model,
   return id;
 }
 
-std::uint64_t NetClient::send_infer(const std::string& model, const Tensor& sample) {
-  return send_frame(wire::Opcode::Infer, model, &sample, {});
+std::uint64_t NetClient::send_infer(const std::string& model, const Tensor& sample,
+                                    std::uint8_t priority) {
+  return send_frame(wire::Opcode::Infer, model, &sample, {}, priority);
 }
 
-std::uint64_t NetClient::send_infer_batch(const std::string& model, const Tensor& batch) {
-  return send_frame(wire::Opcode::InferBatch, model, &batch, {});
+std::uint64_t NetClient::send_infer_batch(const std::string& model, const Tensor& batch,
+                                          std::uint8_t priority) {
+  return send_frame(wire::Opcode::InferBatch, model, &batch, {}, priority);
 }
 
 std::uint64_t NetClient::send_ping() { return send_frame(wire::Opcode::Ping, {}, nullptr, {}); }

@@ -54,8 +54,13 @@ class NetClient {
   NetClient& operator=(const NetClient&) = delete;
 
   // Pipelined path --------------------------------------------------------
-  std::uint64_t send_infer(const std::string& model, const Tensor& sample);
-  std::uint64_t send_infer_batch(const std::string& model, const Tensor& batch);
+  /// `priority` is the request's wire priority class (0 = default; 0 emits a
+  /// frame byte-identical to a pre-priority client, so the default preserves
+  /// current behavior on the wire exactly).
+  std::uint64_t send_infer(const std::string& model, const Tensor& sample,
+                           std::uint8_t priority = 0);
+  std::uint64_t send_infer_batch(const std::string& model, const Tensor& batch,
+                                 std::uint8_t priority = 0);
   std::uint64_t send_ping();
   /// Blocks for the next reply frame (any request). Throws
   /// std::runtime_error when the server closes the connection.
@@ -76,7 +81,7 @@ class NetClient {
 
  private:
   std::uint64_t send_frame(wire::Opcode op, const std::string& model, const Tensor* tensor,
-                           std::string_view text);
+                           std::string_view text, std::uint8_t priority = 0);
   /// Blocks for the reply to `request_id`; throws the mapped exception on a
   /// non-Ok status. Sync path only.
   Reply recv_for(std::uint64_t request_id);

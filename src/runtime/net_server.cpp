@@ -55,6 +55,7 @@ struct NetServer::Job {
   std::string model;
   Tensor tensor;     ///< INFER / INFER_BATCH payload
   std::string text;  ///< DEPLOY artifact path
+  std::uint8_t priority = 0;  ///< wire priority byte (0 when absent)
 };
 
 /// Readiness-notification backend: epoll where available, poll() otherwise.
@@ -143,7 +144,9 @@ class NetServer::PollPoller final : public Poller {
 // ----------------------------------------------------------------- lifecycle
 
 NetServer::NetServer(Server& server, NetServerConfig config)
-    : server_(server), config_(std::move(config)) {
+    : server_(server),
+      config_(std::move(config)),
+      jobs_(config_.priority_classes > 0 ? config_.priority_classes : 1) {
   if (config_.executors < 1) {
     throw std::invalid_argument("NetServer: executors must be >= 1");
   }
@@ -400,23 +403,39 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
       const std::string model(frame.model);
       try {
         const ModelServerStats s = server_.stats(model);
-        char buf[512];
-        std::snprintf(buf, sizeof(buf),
-                      "{\"model\":\"%s\",\"generation\":%llu,\"deploys\":%llu,\"shed\":%llu,"
-                      "\"cam_precision\":\"%s\","
-                      "\"requests\":%llu,\"batches\":%llu,\"queue_depth\":%lld,"
-                      "\"in_flight\":%lld,\"p50_ms\":%.3f,\"p99_ms\":%.3f}",
-                      model.c_str(), static_cast<unsigned long long>(s.generation),
-                      static_cast<unsigned long long>(s.deploys),
-                      static_cast<unsigned long long>(s.shed_total),
-                      cam::precision_name(s.cam_precision),
-                      static_cast<unsigned long long>(s.engine.requests),
-                      static_cast<unsigned long long>(s.engine.batches),
-                      static_cast<long long>(s.engine.queue_depth),
-                      static_cast<long long>(s.engine.in_flight), s.engine.p50_ms,
-                      s.engine.p99_ms);
-        wire::encode_frame(reply, frame.opcode, wire::Status::Ok, frame.request_id, model,
-                           std::string_view(buf));
+        const auto ms = [](double v) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.3f", v);
+          return std::string(buf);
+        };
+        // Built as a string (not a fixed snprintf buffer): the per-class
+        // array grows with the engine's priority_classes.
+        std::string json = "{\"model\":\"" + model +
+                           "\",\"generation\":" + std::to_string(s.generation) +
+                           ",\"deploys\":" + std::to_string(s.deploys) +
+                           ",\"shed\":" + std::to_string(s.shed_total) +
+                           ",\"cam_precision\":\"" + cam::precision_name(s.cam_precision) +
+                           "\",\"requests\":" + std::to_string(s.engine.requests) +
+                           ",\"batches\":" + std::to_string(s.engine.batches) +
+                           ",\"queue_depth\":" + std::to_string(s.engine.queue_depth) +
+                           ",\"in_flight\":" + std::to_string(s.engine.in_flight) +
+                           ",\"p50_ms\":" + ms(s.engine.p50_ms) +
+                           ",\"p99_ms\":" + ms(s.engine.p99_ms) +
+                           ",\"eff_max_batch\":" + std::to_string(s.engine.eff_max_batch) +
+                           ",\"eff_batch_wait_us\":" +
+                           std::to_string(s.engine.eff_batch_wait_us) +
+                           ",\"depth_cap\":" + std::to_string(s.engine.depth_cap) +
+                           ",\"classes\":[";
+        for (std::size_t c = 0; c < s.engine.classes.size(); ++c) {
+          const EngineClassStats& cls = s.engine.classes[c];
+          if (c > 0) json += ',';
+          json += "{\"requests\":" + std::to_string(cls.requests) +
+                  ",\"shed\":" + std::to_string(cls.shed) +
+                  ",\"depth\":" + std::to_string(cls.depth) +
+                  ",\"p50_ms\":" + ms(cls.p50_ms) + ",\"p99_ms\":" + ms(cls.p99_ms) + "}";
+        }
+        json += "]}";
+        wire::encode_frame(reply, frame.opcode, wire::Status::Ok, frame.request_id, model, json);
         post_reply(conn, std::move(reply), wire::Status::Ok);
       } catch (const UnknownModelError& e) {
         wire::encode_frame(reply, frame.opcode, wire::Status::UnknownModel, frame.request_id,
@@ -434,8 +453,10 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
       job.model.assign(frame.model);
       try {
         // Zero-copy hand-off: floats go from the connection buffer straight
-        // into the engine-ready sample/batch tensor.
-        job.tensor = wire::decode_tensor(frame.payload, frame.payload_len);
+        // into the engine-ready sample/batch tensor. The optional trailing
+        // priority byte (absent = class 0, the pre-priority wire format)
+        // orders the job queue and, for INFER, the engine's admission.
+        job.tensor = wire::decode_tensor_request(frame.payload, frame.payload_len, job.priority);
       } catch (const std::invalid_argument& e) {
         wire::encode_frame(reply, frame.opcode, wire::Status::BadRequest, frame.request_id,
                            frame.model, std::string_view(e.what()));
@@ -468,7 +489,8 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
 
 void NetServer::dispatch(std::shared_ptr<Conn> conn, Job job) {
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  if (jobs_.push(job) != util::PushResult::Ok) {
+  const std::size_t cls = job.priority;  // PriorityBucketQueue clamps to its top class
+  if (jobs_.push(job, cls) != util::PushResult::Ok) {
     // Only reachable if a frame sneaks in after drain started: answer
     // honestly instead of dropping the request on the floor.
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -499,7 +521,7 @@ void NetServer::execute(Job& job) {
   try {
     switch (job.opcode) {
       case wire::Opcode::Infer: {
-        Tensor logits = server_.submit(job.model, std::move(job.tensor)).get();
+        Tensor logits = server_.submit(job.model, std::move(job.tensor), job.priority).get();
         wire::encode_tensor_frame(reply, job.opcode, wire::Status::Ok, job.request_id, job.model,
                                   logits);
         break;

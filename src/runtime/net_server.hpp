@@ -75,6 +75,12 @@ struct NetServerConfig {
   std::size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
   std::chrono::milliseconds drain_timeout{5000};  ///< stop() upper bound
   bool force_poll = false;  ///< use the poll() backend even where epoll exists
+  /// Priority classes of the executor job queue: a frame's optional priority
+  /// byte (clamped to [0, priority_classes-1]) orders execution — executors
+  /// always pop the highest class first — and is forwarded to
+  /// Server::submit for INFER, where the engine's own priority-bucketed
+  /// admission applies. Frames without the byte run at class 0.
+  std::size_t priority_classes = 4;
   /// Engine config applied to wire DEPLOY requests (execution path, batching,
   /// admission control for models deployed over the network).
   EngineConfig deploy_config{};
@@ -152,7 +158,7 @@ class NetServer {
 
   std::thread reactor_;
   std::vector<std::thread> executors_;
-  util::BoundedQueue<Job> jobs_;
+  util::PriorityBucketQueue<Job> jobs_;
   std::atomic<std::int64_t> in_flight_{0};  ///< dispatched jobs without a posted reply
 
   std::atomic<bool> running_{false};

@@ -52,10 +52,11 @@ void Server::undeploy(const std::string& name) {
   // Drops here — same deferred-teardown contract as a hot-swap.
 }
 
-std::future<Tensor> Server::submit(const std::string& name, Tensor sample) {
+std::future<Tensor> Server::submit(const std::string& name, Tensor sample,
+                                   std::int64_t priority) {
   std::shared_ptr<Engine> engine = registry_.acquire(name);
   try {
-    return engine->submit(std::move(sample));
+    return engine->submit(std::move(sample), priority);
   } catch (const OverloadedError&) {
     counters(name).shed.fetch_add(1, std::memory_order_relaxed);
     throw;

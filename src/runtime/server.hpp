@@ -103,10 +103,13 @@ class Server {
   /// owners' threads; subsequent requests throw UnknownModelError.
   void undeploy(const std::string& name);
 
-  /// Routes one sample to the engine serving `name`. Throws
-  /// UnknownModelError (not deployed), std::invalid_argument (bad sample),
-  /// or OverloadedError (Reject-mode admission shed — counted in stats).
-  std::future<Tensor> submit(const std::string& name, Tensor sample);
+  /// Routes one sample to the engine serving `name` at the given priority
+  /// class (0 = default/lowest; clamped to the engine's priority_classes).
+  /// Throws UnknownModelError (not deployed), std::invalid_argument (bad
+  /// sample), or OverloadedError (Reject-mode admission shed — counted in
+  /// stats; under priority-aware shedding an evicted LOWER-class request's
+  /// future fails instead of this call throwing).
+  std::future<Tensor> submit(const std::string& name, Tensor sample, std::int64_t priority = 0);
 
   /// Routes a synchronous batch to the engine serving `name`. Batches
   /// larger than the engine's shard_samples execute as concurrent sample

@@ -80,13 +80,16 @@ std::size_t tensor_payload_bytes(const Tensor& t) {
 }
 
 void encode_tensor_frame(std::vector<std::uint8_t>& out, Opcode op, Status status,
-                         std::uint64_t request_id, std::string_view model, const Tensor& t) {
+                         std::uint64_t request_id, std::string_view model, const Tensor& t,
+                         std::uint8_t priority) {
   if (static_cast<std::size_t>(t.ndim()) > kMaxTensorDims) {
     throw std::invalid_argument("wire::encode_tensor_frame: tensor has " +
                                 std::to_string(t.ndim()) + " dims, max " +
                                 std::to_string(kMaxTensorDims));
   }
-  const std::size_t payload_len = tensor_payload_bytes(t);
+  // Priority 0 omits the trailing byte entirely: the default class stays
+  // byte-identical to the pre-priority wire format.
+  const std::size_t payload_len = tensor_payload_bytes(t) + (priority != 0 ? 1 : 0);
   // Header first (with the final payload length), then the tensor fields
   // straight into the frame buffer.
   encode_frame(out, op, status, request_id, model, nullptr, 0);
@@ -99,6 +102,7 @@ void encode_tensor_frame(std::vector<std::uint8_t>& out, Opcode op, Status statu
   for (std::int64_t i = 0; i < t.ndim(); ++i) append<std::int64_t>(out, t.dim(i));
   const auto* data = reinterpret_cast<const std::uint8_t*>(t.data());
   out.insert(out.end(), data, data + sizeof(float) * static_cast<std::size_t>(t.numel()));
+  if (priority != 0) out.push_back(priority);
 }
 
 Tensor decode_tensor(const std::uint8_t* payload, std::size_t len) {
@@ -136,6 +140,36 @@ Tensor decode_tensor(const std::uint8_t* payload, std::size_t len) {
   Tensor t(std::move(shape));
   std::memcpy(t.data(), payload + 4 + dims_bytes, data_bytes);
   return t;
+}
+
+Tensor decode_tensor_request(const std::uint8_t* payload, std::size_t len,
+                             std::uint8_t& priority) {
+  priority = 0;
+  // Size the tensor body from its own ndim/dims fields so the one legal
+  // trailing byte is unambiguous: exactly tensor → class 0 (every
+  // pre-priority frame), tensor + 1 → that byte is the class. decode_tensor
+  // re-validates the sliced body in full, so anything else still fails with
+  // its precise diagnostics.
+  if (len >= 4) {
+    const std::uint32_t ndim = load<std::uint32_t>(payload);
+    if (ndim >= 1 && ndim <= kMaxTensorDims && len >= 4 + sizeof(std::int64_t) * ndim) {
+      std::int64_t numel = 1;
+      bool dims_ok = true;
+      for (std::uint32_t i = 0; i < ndim && dims_ok; ++i) {
+        const std::int64_t d = load<std::int64_t>(payload + 4 + sizeof(std::int64_t) * i);
+        dims_ok = d >= 0 && d <= std::numeric_limits<std::int32_t>::max();
+        numel *= dims_ok ? d : 1;
+        dims_ok = dims_ok && numel <= std::numeric_limits<std::int32_t>::max();
+      }
+      const std::size_t body = 4 + sizeof(std::int64_t) * ndim +
+                               sizeof(float) * static_cast<std::size_t>(numel);
+      if (dims_ok && len == body + 1) {
+        priority = payload[body];
+        len = body;
+      }
+    }
+  }
+  return decode_tensor(payload, len);
 }
 
 void Decoder::feed(const void* data, std::size_t n) {

@@ -23,6 +23,11 @@
 // Payloads:
 //   Infer        request: tensor ([C,H,W] sample)   reply: tensor ([classes])
 //   InferBatch   request: tensor ([N,C,H,W] batch)  reply: tensor ([N,classes])
+//     Infer/InferBatch requests may carry ONE optional trailing byte after
+//     the tensor payload: the priority class (0 = default/lowest, higher =
+//     more urgent). An absent byte means class 0, so v1 frames from old
+//     clients decode unchanged — and a new client sending priority 0 emits
+//     frames byte-identical to an old one. Replies never carry the byte.
 //   Ping         empty both ways (reply echoes request_id — liveness probe)
 //   Stats        request: empty                     reply: compact JSON text
 //   ListModels   request: empty                     reply: newline-joined names
@@ -128,9 +133,13 @@ inline void encode_frame(std::vector<std::uint8_t>& out, Opcode op, Status statu
 }
 
 /// Appends a frame whose payload is the wire encoding of `t`, written
-/// directly into `out` (no intermediate payload buffer).
+/// directly into `out` (no intermediate payload buffer). A nonzero
+/// `priority` appends the optional trailing priority byte (Infer/InferBatch
+/// requests only); priority 0 emits the byte-free v1 frame, so default-class
+/// traffic is byte-identical to pre-priority clients.
 void encode_tensor_frame(std::vector<std::uint8_t>& out, Opcode op, Status status,
-                         std::uint64_t request_id, std::string_view model, const Tensor& t);
+                         std::uint64_t request_id, std::string_view model, const Tensor& t,
+                         std::uint8_t priority = 0);
 
 std::size_t tensor_payload_bytes(const Tensor& t);
 
@@ -138,6 +147,13 @@ std::size_t tensor_payload_bytes(const Tensor& t);
 /// std::invalid_argument on any inconsistency: truncated buffer, ndim >
 /// kMaxTensorDims, negative dims, or a dims/byte-count mismatch.
 Tensor decode_tensor(const std::uint8_t* payload, std::size_t len);
+
+/// Decodes an Infer/InferBatch REQUEST payload: the tensor plus the optional
+/// trailing priority byte. `priority` is set to the byte when present and 0
+/// when absent (default class — every pre-priority frame). Any other length
+/// mismatch throws std::invalid_argument like decode_tensor.
+Tensor decode_tensor_request(const std::uint8_t* payload, std::size_t len,
+                             std::uint8_t& priority);
 
 // --- Decoding ---------------------------------------------------------------
 

@@ -23,8 +23,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -160,6 +162,253 @@ class BoundedQueue {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> items_;
+  bool closed_ = false;
+};
+
+// Priority-bucketed bounded MPMC queue — the SLO-aware sibling of
+// BoundedQueue, and the pending buffer behind Engine request priorities.
+//
+// K priority classes share ONE capacity bound (admission control is about
+// total queued work, not per-class fairness). Class indices are 0..K-1 with
+// HIGHER values more urgent; class 0 is the default every legacy producer
+// lands in. On top of the BoundedQueue contract (close semantics, rejected
+// pushes never consume the item, straggler-coalescing pop_batch) it owns the
+// two scheduling policies of a priority front door:
+//   * consumers drain the highest non-empty class first — pop_batch picks
+//     every item (the first AND each coalesced straggler) from the highest
+//     class available at that moment, so batches coalesce ACROSS classes
+//     while strict precedence holds at every single pop;
+//   * under Reject-mode pressure the LOWEST class sheds first —
+//     try_push_evict on a full queue evicts the newest item of the lowest
+//     occupied class strictly below the incoming one (drop-tail of the least
+//     urgent traffic) and hands it back to the caller to fail; an incoming
+//     item that is itself (tied for) lowest is the one shed.
+//
+// Per-class depth and shed counters are kept here, where every admission
+// decision lands, so EngineStats can report them without a second ledger.
+//
+// A `soft_capacity` below the hard bound lets a controller shrink the
+// admission window at runtime (deadline-derived queue caps): pushes respect
+// min(capacity, soft_capacity) while items already queued stay poppable.
+template <typename T>
+class PriorityBucketQueue {
+ public:
+  /// `classes` >= 1 priority buckets; capacity == 0 means unbounded.
+  explicit PriorityBucketQueue(std::size_t classes, std::size_t capacity = 0)
+      : capacity_(capacity),
+        soft_capacity_(capacity),
+        buckets_(classes == 0 ? 1 : classes),
+        depth_(buckets_.size(), 0),
+        shed_(buckets_.size(), 0) {}
+
+  PriorityBucketQueue(const PriorityBucketQueue&) = delete;
+  PriorityBucketQueue& operator=(const PriorityBucketQueue&) = delete;
+
+  std::size_t classes() const { return buckets_.size(); }
+
+  /// Non-blocking push into class `cls` (clamped to the top class): sheds the
+  /// INCOMING item when full. Counts the shed against `cls`.
+  PushResult try_push(T& item, std::size_t cls) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cls = clamp_class(cls);
+      if (closed_) return PushResult::Closed;
+      if (at_capacity()) {
+        ++shed_[cls];
+        return PushResult::Full;
+      }
+      enqueue(std::move(item), cls);
+    }
+    cv_.notify_all();
+    return PushResult::Ok;
+  }
+
+  /// Non-blocking push that sheds the lowest class first: when full, the
+  /// newest item of the lowest occupied class STRICTLY below `cls` is evicted
+  /// into `evicted` (the caller owns failing it) and `item` is accepted. If
+  /// `cls` is itself (tied for) the lowest, the incoming item sheds instead
+  /// (Full, item untouched). Sheds are counted against the evicted/rejected
+  /// item's class.
+  PushResult try_push_evict(T& item, std::size_t cls, std::optional<T>& evicted) {
+    evicted.reset();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cls = clamp_class(cls);
+      if (closed_) return PushResult::Closed;
+      if (at_capacity()) {
+        std::size_t victim = buckets_.size();
+        for (std::size_t c = 0; c < cls; ++c) {
+          if (!buckets_[c].empty()) {
+            victim = c;
+            break;
+          }
+        }
+        if (victim >= buckets_.size()) {
+          ++shed_[cls];
+          return PushResult::Full;
+        }
+        evicted = std::move(buckets_[victim].back());
+        buckets_[victim].pop_back();
+        --depth_[victim];
+        --total_;
+        ++shed_[victim];
+      }
+      enqueue(std::move(item), cls);
+    }
+    cv_.notify_all();
+    return PushResult::Ok;
+  }
+
+  /// Blocking push: waits for space under the effective (soft) bound.
+  PushResult push(T& item, std::size_t cls) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return closed_ || !at_capacity(); });
+      if (closed_) return PushResult::Closed;
+      enqueue(std::move(item), clamp_class(cls));
+    }
+    cv_.notify_all();
+    return PushResult::Ok;
+  }
+
+  /// Same contract as BoundedQueue::pop_batch, with precedence: the first
+  /// item and every coalesced straggler are each taken from the HIGHEST
+  /// non-empty class at that pop. keep(first, candidate) still bounds the
+  /// prefix (shape coalescing crosses classes freely).
+  template <typename Keep>
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max,
+                        std::chrono::microseconds straggler, std::size_t want, Keep keep) {
+    std::size_t popped = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        cv_.wait(lock, [this] { return closed_ || total_ > 0; });
+        if (closed_ && total_ == 0) return 0;  // closed and drained
+        if (!closed_ && total_ < want && !at_capacity()) {
+          cv_.wait_for(lock, straggler, [this, want] {
+            return closed_ || total_ >= want || at_capacity();
+          });
+          if (total_ == 0) continue;  // a concurrent consumer drained us
+        }
+        break;
+      }
+      const std::size_t first = out.size();
+      out.push_back(dequeue_top());
+      ++popped;
+      while (total_ > 0 && popped < max && keep(out[first], top())) {
+        out.push_back(dequeue_top());
+        ++popped;
+      }
+    }
+    cv_.notify_all();
+    return popped;
+  }
+
+  /// Moves out everything still queued, highest class first (FIFO within a
+  /// class). Works after close().
+  std::vector<T> drain() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      out.reserve(total_);
+      while (total_ > 0) out.push_back(dequeue_top());
+    }
+    cv_.notify_all();
+    return out;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  std::size_t depth(std::size_t cls) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_[clamp_class(cls)];
+  }
+
+  /// Items shed from class `cls` (try_push rejections + evictions), lifetime.
+  std::uint64_t shed(std::size_t cls) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shed_[clamp_class(cls)];
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Controller knob: tighten admission to min(capacity, n) without touching
+  /// already-queued items. 0 restores the hard bound. Wakes blocked pushers
+  /// when the window widens.
+  void set_soft_capacity(std::size_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      soft_capacity_ = n;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t soft_capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return soft_capacity_;
+  }
+
+ private:
+  // All helpers require mutex_ held.
+  std::size_t clamp_class(std::size_t cls) const {
+    return cls < buckets_.size() ? cls : buckets_.size() - 1;
+  }
+
+  bool at_capacity() const {
+    const std::size_t hard = capacity_;
+    const std::size_t soft = soft_capacity_;
+    const std::size_t bound = hard == 0 ? soft : (soft == 0 ? hard : std::min(hard, soft));
+    return bound != 0 && total_ >= bound;
+  }
+
+  void enqueue(T&& item, std::size_t cls) {
+    buckets_[cls].push_back(std::move(item));
+    ++depth_[cls];
+    ++total_;
+  }
+
+  std::size_t top_class() const {
+    for (std::size_t c = buckets_.size(); c-- > 0;) {
+      if (!buckets_[c].empty()) return c;
+    }
+    return 0;  // unreachable when total_ > 0
+  }
+
+  T& top() { return buckets_[top_class()].front(); }
+
+  T dequeue_top() {
+    const std::size_t c = top_class();
+    T item = std::move(buckets_[c].front());
+    buckets_[c].pop_front();
+    --depth_[c];
+    --total_;
+    return item;
+  }
+
+  const std::size_t capacity_;
+  std::size_t soft_capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::deque<T>> buckets_;
+  std::vector<std::size_t> depth_;
+  std::vector<std::uint64_t> shed_;
+  std::size_t total_ = 0;
   bool closed_ = false;
 };
 

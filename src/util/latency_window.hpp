@@ -1,0 +1,67 @@
+// Bounded sliding-window percentile estimator — the latency sensor shared by
+// EngineStats (the p50/p99 a STATS call reports) and the SLO batching
+// controller (the windowed p99 it steers on).
+//
+// A fixed-capacity ring of the most recent samples: once full, each record()
+// overwrites the oldest sample, so percentiles always describe the last
+// `capacity` requests — a long-running server reports CURRENT tail latency,
+// not its lifetime distribution, and the numbers recover after a load spike
+// as soon as the window turns over (asserted in test_runtime).
+//
+// Not thread-safe: the owner provides synchronization (the Engine records and
+// reads under its stats mutex). Percentile queries copy the window and use
+// nth_element, so a query never perturbs the ring.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pecan::util {
+
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    samples_.reserve(capacity_);
+  }
+
+  void record(double ms) {
+    ++total_;
+    if (samples_.size() < capacity_) {
+      samples_.push_back(ms);
+    } else {
+      samples_[next_] = ms;
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  /// Samples currently in the window (<= capacity).
+  std::size_t size() const { return samples_.size(); }
+  /// Samples ever recorded (lifetime counter; the window itself is bounded).
+  std::uint64_t total() const { return total_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Quantile over the current window (q in [0, 1]); 0 when empty.
+  double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> scratch = samples_;
+    const auto k = static_cast<std::size_t>(q * static_cast<double>(scratch.size() - 1));
+    std::nth_element(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(k),
+                     scratch.end());
+    return scratch[k];
+  }
+
+  void clear() {
+    samples_.clear();
+    next_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pecan::util

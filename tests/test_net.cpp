@@ -128,6 +128,49 @@ TEST(Wire, TensorRoundTripBitwise) {
   EXPECT_TRUE(matches(back, t));
 }
 
+TEST(Wire, PriorityZeroFramesStayByteIdenticalToLegacy) {
+  Rng rng(5);
+  const Tensor t = rng.randn({1, 28, 28});
+  // Explicit priority 0 and the pre-priority default arm must produce the
+  // SAME bytes: old servers keep decoding new default-class clients and old
+  // clients parse as class 0 on new servers.
+  std::vector<std::uint8_t> legacy, explicit_zero;
+  wire::encode_tensor_frame(legacy, wire::Opcode::Infer, wire::Status::Ok, 3, "m", t);
+  wire::encode_tensor_frame(explicit_zero, wire::Opcode::Infer, wire::Status::Ok, 3, "m", t,
+                            /*priority=*/0);
+  EXPECT_EQ(legacy, explicit_zero);
+
+  wire::Decoder decoder;
+  decoder.feed(legacy.data(), legacy.size());
+  wire::FrameView frame;
+  ASSERT_EQ(decoder.next(frame), wire::Decoder::Result::Frame);
+  // A frame with no priority byte decodes as the default class...
+  std::uint8_t priority = 0xFF;
+  const Tensor back = wire::decode_tensor_request(frame.payload, frame.payload_len, priority);
+  EXPECT_EQ(priority, 0);
+  EXPECT_TRUE(matches(back, t));
+  // ...and its payload still satisfies the plain reply decoder.
+  EXPECT_TRUE(matches(wire::decode_tensor(frame.payload, frame.payload_len), t));
+}
+
+TEST(Wire, PriorityByteRoundTrips) {
+  Rng rng(6);
+  const Tensor t = rng.randn({2, 1, 28, 28});
+  std::vector<std::uint8_t> bytes;
+  wire::encode_tensor_frame(bytes, wire::Opcode::InferBatch, wire::Status::Ok, 9, "m", t,
+                            /*priority=*/3);
+  EXPECT_EQ(bytes.size(), wire::kHeaderBytes + 1 + wire::tensor_payload_bytes(t) + 1);
+
+  wire::Decoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  wire::FrameView frame;
+  ASSERT_EQ(decoder.next(frame), wire::Decoder::Result::Frame);
+  std::uint8_t priority = 0;
+  const Tensor back = wire::decode_tensor_request(frame.payload, frame.payload_len, priority);
+  EXPECT_EQ(priority, 3);
+  EXPECT_TRUE(matches(back, t));
+}
+
 TEST(Wire, ByteAtATimeFeedReassemblesEveryFrame) {
   // Three frames of different shapes, fed one byte at a time — the harshest
   // torn-read schedule TCP can produce.
@@ -494,6 +537,56 @@ TEST(NetServer, BitwiseIdentityForEveryModelUnderConcurrentConnections) {
   EXPECT_EQ(stats.decode_errors, 0u);
   // Every request got exactly one Ok reply: 3 batches + 10 samples per rep.
   EXPECT_EQ(stats.replies_ok, static_cast<std::uint64_t>(kConnections * kReps * 13));
+  util::set_global_threads(1);
+}
+
+// Priority over the wire, end to end: tagged INFERs serve bitwise-identically
+// to untagged ones (priority moves scheduling, never math), and the STATS verb
+// exposes the per-class counters and controller state.
+TEST(NetServer, PriorityTaggedInfersServeBitwiseIdenticallyAndShowInStats) {
+  util::set_global_threads(2);
+  Rng data(23);
+  const Tensor batch = lenet_batch(data, 4);
+  std::vector<Tensor> ref;
+  {
+    runtime::Engine direct(lenet(7));
+    ref = split_rows(direct.forward_batch(batch));
+  }
+
+  runtime::Server server;
+  runtime::EngineConfig config;
+  config.priority_classes = 4;
+  server.deploy("lenet5-d", lenet(7), config);
+  runtime::NetServer net(server, loopback_config());
+  net.start();
+
+  runtime::NetClient client("127.0.0.1", net.port());
+  // Pipeline one request per priority class, then collect the replies by id.
+  std::map<std::uint64_t, std::int64_t> sample_of;
+  for (std::int64_t s = 0; s < 4; ++s) {
+    sample_of[client.send_infer("lenet5-d", nth_sample(batch, s),
+                                static_cast<std::uint8_t>(s))] = s;
+  }
+  for (int i = 0; i < 4; ++i) {
+    const runtime::NetClient::Reply reply = client.recv();
+    ASSERT_EQ(reply.status, wire::Status::Ok);
+    ASSERT_TRUE(sample_of.count(reply.request_id));
+    const std::int64_t s = sample_of[reply.request_id];
+    EXPECT_TRUE(matches(reply.tensor, ref[static_cast<std::size_t>(s)])) << "sample " << s;
+  }
+  // Untagged sync INFER on the same connection still serves (default class).
+  EXPECT_TRUE(matches(client.infer("lenet5-d", nth_sample(batch, 0)), ref[0]));
+
+  const std::string json = client.stats_json("lenet5-d");
+  EXPECT_NE(json.find("\"classes\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"eff_max_batch\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth_cap\":"), std::string::npos) << json;
+
+  net.stop();
+  const runtime::NetServerStats stats = net.stats();
+  EXPECT_EQ(stats.replies_error, 0u);
+  EXPECT_EQ(stats.decode_errors, 0u);
+  EXPECT_EQ(stats.replies_ok, 6u);  // 5 INFERs + 1 STATS
   util::set_global_threads(1);
 }
 

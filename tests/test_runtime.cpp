@@ -3,8 +3,10 @@
 // equivalence guarantees (both execution paths, both PECAN flavors).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <future>
 #include <stdexcept>
@@ -234,6 +236,140 @@ TEST(Engine, FlattensPlanAcrossContainers) {
   // LeNet5: conv1, relu, pool, conv2, relu, pool, flatten, fc1, relu, fc2,
   // relu, fc3 = 12 steps.
   EXPECT_EQ(engine.plan_size(), 12);
+}
+
+// --------------------------------------------- SLO scheduler + priorities
+
+/// Copies sample `s` of an [N,C,H,W] batch as a [C,H,W] submit() input.
+Tensor nth_sample_3d(const Tensor& batch, std::int64_t s) {
+  const std::int64_t sample_numel = batch.numel() / batch.dim(0);
+  Tensor sample({batch.dim(1), batch.dim(2), batch.dim(3)});
+  std::copy(batch.data() + s * sample_numel, batch.data() + (s + 1) * sample_numel,
+            sample.data());
+  return sample;
+}
+
+// Satellite fix: EngineStats percentiles come from a bounded sliding window,
+// so a long-running engine reports CURRENT tail latency. After a spike of
+// slow requests, enough fast ones must fully displace it.
+TEST(EngineSlo, PercentilesRecoverAfterLoadSpike) {
+  util::set_global_threads(1);
+  Rng rng(211);
+  runtime::EngineConfig config;
+  config.latency_window = 8;  // tiny window: recovery visible after 8 requests
+  runtime::Engine engine(models::make_lenet5(models::Variant::PecanD, rng), config);
+
+  Rng data_rng(223);
+  const Tensor spike = random_batch(data_rng, 32);  // 32x the work per request
+  const Tensor fast = random_batch(data_rng, 1);
+  for (int i = 0; i < 8; ++i) engine.forward_batch(spike);
+  const double p99_spike = engine.stats().p99_ms;
+  EXPECT_GT(p99_spike, 0.0);
+
+  for (int i = 0; i < 8; ++i) engine.forward_batch(fast);
+  const runtime::EngineStats after = engine.stats();
+  EXPECT_EQ(after.latency_samples, 16u);
+  // The window has fully turned over: the spike is gone from the
+  // percentiles, not averaged into lifetime history. 32x less work per
+  // request leaves a wide margin.
+  EXPECT_LT(after.p99_ms, p99_spike * 0.5);
+  EXPECT_LE(after.p50_ms, after.p99_ms);
+}
+
+// Priority classes must not perturb computation: every sample's logits stay
+// bitwise-identical to the sequential reference at every priority, and the
+// per-class counters account each accepted sample exactly once.
+TEST(EngineSlo, PrioritySubmitsStayBitwiseIdentical) {
+  Rng rng(227);
+  auto reference = models::make_lenet5(models::Variant::PecanD, rng);
+  reference->set_training(false);
+  Rng rng2(227);
+  auto served = models::make_lenet5(models::Variant::PecanD, rng2);
+
+  Rng data_rng(229);
+  const Tensor batch = random_batch(data_rng, 8);
+  std::vector<Tensor> rows = forward_per_sample(*reference, batch);
+
+  runtime::EngineConfig config;
+  config.max_batch = 4;
+  config.priority_classes = 4;
+  runtime::Engine engine(std::move(served), config);
+  std::vector<std::future<Tensor>> futures;
+  for (std::int64_t s = 0; s < 8; ++s) {
+    futures.push_back(engine.submit(nth_sample_3d(batch, s), /*priority=*/s % 4));
+  }
+  for (std::int64_t s = 0; s < 8; ++s) {
+    Tensor logits = futures[static_cast<std::size_t>(s)].get();
+    ASSERT_EQ(logits.numel(), rows[static_cast<std::size_t>(s)].numel());
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+      EXPECT_EQ(logits[i], rows[static_cast<std::size_t>(s)][i]) << "sample " << s;
+    }
+  }
+  engine.shutdown();
+  const runtime::EngineStats stats = engine.stats();
+  ASSERT_EQ(stats.classes.size(), 4u);
+  std::uint64_t class_requests = 0;
+  for (const runtime::EngineClassStats& cls : stats.classes) {
+    class_requests += cls.requests;
+    EXPECT_EQ(cls.shed, 0u);
+    EXPECT_EQ(cls.depth, 0);
+    EXPECT_LE(cls.p50_ms, cls.p99_ms);
+  }
+  EXPECT_EQ(class_requests, 8u);
+  EXPECT_EQ(stats.requests, 8u);
+  // Submit-path accounting: one END-TO-END latency sample per sample.
+  EXPECT_EQ(stats.latency_samples, 8u);
+  // Out-of-range priorities clamp, they do not throw.
+  EXPECT_NO_THROW(runtime::Engine(
+      [] {
+        Rng r(227);
+        return models::make_lenet5(models::Variant::PecanD, r);
+      }(),
+      config));
+}
+
+// With an unreachable SLO the controller must back the effective batch size
+// and straggler wait down to their floors — and the outputs must stay
+// bitwise-identical while it does (the controller only moves batching
+// boundaries, never the math).
+TEST(EngineSlo, ControllerShrinksBatchUnderSloPressureBitwiseIdentical) {
+  Rng rng(233);
+  auto reference = models::make_lenet5(models::Variant::PecanD, rng);
+  reference->set_training(false);
+  Rng rng2(233);
+  auto served = models::make_lenet5(models::Variant::PecanD, rng2);
+
+  Rng data_rng(239);
+  const Tensor batch = random_batch(data_rng, 4);
+  std::vector<Tensor> rows = forward_per_sample(*reference, batch);
+
+  runtime::EngineConfig config;
+  config.max_batch = 8;
+  config.slo_target_ms = 1e-6;  // unreachable: every windowed p99 breaches it
+  config.ctl_min_batch = 1;
+  runtime::Engine engine(std::move(served), config);
+  EXPECT_EQ(engine.stats().eff_max_batch, 8);  // controller starts at the config
+
+  std::vector<std::future<Tensor>> futures;
+  for (int r = 0; r < 32; ++r) {
+    futures.push_back(engine.submit(nth_sample_3d(batch, r % 4)));
+  }
+  for (int r = 0; r < 32; ++r) {
+    Tensor logits = futures[static_cast<std::size_t>(r)].get();
+    const Tensor& ref = rows[static_cast<std::size_t>(r % 4)];
+    ASSERT_EQ(logits.numel(), ref.numel());
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+      EXPECT_EQ(logits[i], ref[i]) << "request " << r;
+    }
+  }
+  engine.shutdown();
+  const runtime::EngineStats stats = engine.stats();
+  // 32 requests against a micro-ms SLO: the multiplicative decrease reaches
+  // the floor (8 -> 4 -> 2 -> 1 takes three post-window batches; at least
+  // 24 batches ran after the 8-sample window filled).
+  EXPECT_EQ(stats.eff_max_batch, config.ctl_min_batch);
+  EXPECT_LT(stats.eff_batch_wait_us, config.batch_wait.count());
+  EXPECT_EQ(stats.requests, 32u);
 }
 
 // --------------------------------------------------- concurrent serving
