@@ -20,6 +20,7 @@
 #include "core/pecan_linear.hpp"
 #include "nn/im2col.hpp"
 #include "nn/infer_context.hpp"
+#include "ops/energy_model.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/sgemm.hpp"
 #include "util/cli.hpp"
@@ -420,6 +421,45 @@ Row bench_camlinear(double min_time) {
   return row;
 }
 
+Row bench_bank_energy(cam::CamPrecision prec) {
+  // Energy per inference at one operating point, from the EXACT op ledger:
+  // integer op counts x the ops::EnergyModel per-op table. No timing in the
+  // numbers at all, so the row is machine-independent and deterministic —
+  // the one kind of bench row that can carry a tight CI gate. Reported as a
+  // rate (inferences per microjoule, higher = better) so speedup keeps its
+  // "after/before" meaning: the row's speedup IS the energy-reduction
+  // factor of this precision over the float32 spec point.
+  const ops::EnergyModel model;
+  const auto nj_per_inf = [&](cam::CamPrecision p) {
+    Rng rng(33);
+    pq::PqLayerConfig cfg;
+    cfg.mode = pq::MatchMode::Distance;
+    cfg.p = 32;
+    cfg.d = 6;
+    cfg.temperature = 1.f;
+    pq::PecanConv2d trained("bench", 6, 16, 5, 1, 0, true, cfg, rng);
+    trained.set_training(false);
+    auto counter = std::make_shared<cam::OpCounter>();
+    cam::CamConv2d layer(trained, counter);
+    layer.set_precision(p);
+    const std::int64_t batch = 8;
+    Tensor x = rng.randn({batch, 6, 14, 14});
+    nn::InferContext ctx;
+    ctx.reset();
+    Tensor out = layer.infer(x, ctx);
+    g_sink = out[0];
+    return model.energy(counter->totals()).total_pj() / 1e3 / static_cast<double>(batch);
+  };
+  const double f32_nj = nj_per_inf(cam::CamPrecision::Float32);
+  const double my_nj = nj_per_inf(prec);
+  Row row;
+  row.name = std::string("bank/energy_lenet_d_") + cam::precision_name(prec);
+  row.unit = "inf/uJ";
+  row.scalar = 1e3 / f32_nj;
+  row.blocked = 1e3 / my_nj;
+  return row;
+}
+
 void write_json(const std::string& path, const std::vector<Row>& rows, bool smoke) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -544,6 +584,25 @@ int main(int argc, char** argv) {
   rows.push_back(bench_camconv(false, min_time));
   rows.push_back(bench_camconv(true, min_time));
   rows.push_back(bench_camlinear(min_time));
+  // Exact energy-per-inference rows (bank/ prefix, gated as a family in CI).
+  // These are ledger math, not timing, so the floors sit just under the
+  // true ratios — any change to the op accounting or the energy table that
+  // moves an operating point's energy shows up as a gate failure.
+  {
+    Row r = bench_bank_energy(cam::CamPrecision::Float32);
+    r.gate_min_speedup = 0.99;  // float32 vs itself: exactly 1.0
+    rows.push_back(r);
+  }
+  {
+    Row r = bench_bank_energy(cam::CamPrecision::Int8);
+    r.gate_min_speedup = 10.0;  // true ratio ~12.3x, exact on every machine
+    rows.push_back(r);
+  }
+  {
+    Row r = bench_bank_energy(cam::CamPrecision::Binary);
+    r.gate_min_speedup = 12.0;  // true ratio ~15.7x, exact on every machine
+    rows.push_back(r);
+  }
 
   std::printf("%-28s %14s %14s %9s %9s  %s\n", "kernel", "scalar", "blocked", "speedup",
               "GB/s", "unit");

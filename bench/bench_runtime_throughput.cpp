@@ -187,6 +187,19 @@ void run_spec(const ModelSpec& spec, runtime::ExecPath path, int threads, std::i
     avg_batch = stats.batches == 0 ? 0.0
                                    : static_cast<double>(stats.batched_samples) /
                                          static_cast<double>(stats.batches);
+    // Cam path: the request stream above also fed the exact energy ledger —
+    // surface joules-per-inference and the bank spread alongside latency.
+    if (stats.energy_pj > 0.0) {
+      double bank_min = -1.0, bank_max = -1.0;
+      for (const cam::BankStats& b : stats.banks) {
+        const double e = b.energy_pj;
+        if (bank_min < 0 || e < bank_min) bank_min = e;
+        if (e > bank_max) bank_max = e;
+      }
+      std::printf("%-10s %-6s energy %.1f nJ/inf over %zu banks (per-bank %.0f..%.0f pJ)\n",
+                  spec.name, path_name, stats.energy_per_inference_nj, stats.banks.size(),
+                  bank_min, bank_max);
+    }
   }
 
   std::printf("%-10s %-6s %8.2f %10.2f %7.2fx %9.1f %9.1f %7.1f\n", spec.name, path_name,

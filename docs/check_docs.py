@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Docs gate: broken-link check + stats-field coverage check.
+
+Two invariants, both cheap enough to run on every push with no toolchain:
+
+1. Every relative markdown link in README.md and docs/*.md resolves to a
+   file that exists (anchors are stripped; http(s)/mailto links are not
+   fetched — external availability is not this repo's regression to catch).
+
+2. Every field of the serving-stats structs (EngineStats, EngineClassStats,
+   BankStats, ModelServerStats, NetServerStats) is documented in
+   docs/STATS_REFERENCE.md as a backticked `field_name`. The field lists
+   are extracted from the C++ headers by this script, so adding a stats
+   field without documenting it fails CI — the reference cannot silently
+   rot.
+
+Stdlib only. Exit 0 on success, 1 with a named-failure list otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+STRUCT_SOURCES = {
+    "EngineStats": REPO / "src/runtime/engine.hpp",
+    "EngineClassStats": REPO / "src/runtime/engine.hpp",
+    "BankStats": REPO / "src/cam/bank_map.hpp",
+    "ModelServerStats": REPO / "src/runtime/server.hpp",
+    "NetServerStats": REPO / "src/runtime/net_server.hpp",
+}
+
+# A data-member declaration: `type name;` or `type name = init;` (no '('
+# anywhere, so member functions and constructors never match). The name is
+# the last identifier before the initializer/semicolon.
+FIELD_RE = re.compile(r"^[^()=]*?\b([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;\s*$")
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def struct_fields(header_text, struct_name):
+    """Returns the data-member names of `struct struct_name { ... };`."""
+    m = re.search(rf"struct {struct_name}\s*\{{", header_text)
+    if not m:
+        raise SystemExit(f"struct {struct_name} not found in its header")
+    body = header_text[m.end():header_text.index("\n};", m.end())]
+    fields = []
+    for line in body.splitlines():
+        line = line.split("///")[0].split("//")[0].strip()
+        fm = FIELD_RE.match(line)
+        if fm:
+            fields.append(fm.group(1))
+    if not fields:
+        raise SystemExit(f"no fields extracted from {struct_name} — parser bug?")
+    return fields
+
+
+def check_links(md_path, failures):
+    text = md_path.read_text(encoding="utf-8")
+    # Skip fenced code blocks: sample output and snippets may contain
+    # bracketed text that only looks like a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (md_path.parent / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            failures.append(f"{md_path.relative_to(REPO)}: broken link -> {target}")
+
+
+def main():
+    failures = []
+
+    md_files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    for md in md_files:
+        check_links(md, failures)
+
+    stats_doc = (REPO / "docs/STATS_REFERENCE.md").read_text(encoding="utf-8")
+    for struct, header in STRUCT_SOURCES.items():
+        for field in struct_fields(header.read_text(encoding="utf-8"), struct):
+            if f"`{field}`" not in stats_doc:
+                failures.append(
+                    f"docs/STATS_REFERENCE.md: {struct}::{field} is undocumented")
+
+    if failures:
+        print(f"check_docs: {len(failures)} failure(s)")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"check_docs: OK ({len(md_files)} markdown files, "
+          f"{len(STRUCT_SOURCES)} stats structs covered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

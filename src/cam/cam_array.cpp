@@ -61,34 +61,40 @@ CamArray::CamArray(Tensor words, SearchMetric metric)
 }
 
 std::int64_t CamArray::search(const float* query, std::int64_t stride, OpCounter& counter) const {
-  counter.cam_searches.fetch_add(1, std::memory_order_relaxed);
+  count_into(&OpCounter::cam_searches, counter, bank_port_, 1);
   std::int64_t best = 0;
+  // Match-line noise (empty = off): word m's offset is applied AFTER its
+  // full d-term accumulation — the same point the blocked kernel applies
+  // it, so scalar and blocked stay bitwise-identical with noise on too.
+  const float* nz = mlnoise_.empty() ? nullptr : mlnoise_.data();
   if (metric_ == SearchMetric::L1BestMatch) {
     float best_dist = std::numeric_limits<float>::max();
     for (std::int64_t m = 0; m < p_; ++m) {
       const float* w = words_.data() + m * d_;
       float dist = 0.f;
       for (std::int64_t i = 0; i < d_; ++i) dist += std::fabs(query[i * stride] - w[i]);
+      if (nz) dist += nz[m];
       if (dist < best_dist) {
         best_dist = dist;
         best = m;
       }
     }
     // Match-line arithmetic: per word, d subtractions + d accumulations.
-    counter.adds.fetch_add(static_cast<std::uint64_t>(2 * p_ * d_), std::memory_order_relaxed);
+    count_into(&OpCounter::adds, counter, bank_port_, static_cast<std::uint64_t>(2 * p_ * d_));
   } else {
     float best_score = -std::numeric_limits<float>::max();
     for (std::int64_t m = 0; m < p_; ++m) {
       const float* w = words_.data() + m * d_;
       float score = 0.f;
       for (std::int64_t i = 0; i < d_; ++i) score += query[i * stride] * w[i];
+      if (nz) score += nz[m];
       if (score > best_score) {
         best_score = score;
         best = m;
       }
     }
-    counter.adds.fetch_add(static_cast<std::uint64_t>(p_ * d_), std::memory_order_relaxed);
-    counter.muls.fetch_add(static_cast<std::uint64_t>(p_ * d_), std::memory_order_relaxed);
+    count_into(&OpCounter::adds, counter, bank_port_, static_cast<std::uint64_t>(p_ * d_));
+    count_into(&OpCounter::muls, counter, bank_port_, static_cast<std::uint64_t>(p_ * d_));
   }
   record_usage(best);
   return best;
@@ -454,8 +460,8 @@ void CamArray::search_block_core(const float* queries, std::int64_t lb, std::int
           }
         }
       }
-      counter.adds_q.fetch_add(static_cast<std::uint64_t>(2 * p_ * d_ * lb),
-                               std::memory_order_relaxed);
+      count_into(&OpCounter::adds_q, counter, bank_port_,
+                 static_cast<std::uint64_t>(2 * p_ * d_ * lb));
     } else {
       // Integer crossbar read. With q = round(x/s)+zp, the real-value dot
       // is s^2 * (sum q*w - zp*sum(w) - zp*sum(q) + d*zp^2); only the first
@@ -524,10 +530,10 @@ void CamArray::search_block_core(const float* queries, std::int64_t lb, std::int
           }
         }
       }
-      counter.adds_q.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb),
-                               std::memory_order_relaxed);
-      counter.muls_q.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb),
-                               std::memory_order_relaxed);
+      count_into(&OpCounter::adds_q, counter, bank_port_,
+                 static_cast<std::uint64_t>(p_ * d_ * lb));
+      count_into(&OpCounter::muls_q, counter, bank_port_,
+                 static_cast<std::uint64_t>(p_ * d_ * lb));
     }
   } else if (precision == CamPrecision::Binary) {
     if (!binary_ready_) throw std::logic_error("CamArray: prepare_quantized(Binary) not called");
@@ -588,9 +594,13 @@ void CamArray::search_block_core(const float* queries, std::int64_t lb, std::int
     }
     // Same op accounting for both layouts: the byte-plane scan computes the
     // identical XOR+popcount totals, just spread across lanes.
-    counter.xor_popcounts.fetch_add(static_cast<std::uint64_t>(p_ * bword_stride_ * lb),
-                                    std::memory_order_relaxed);
+    count_into(&OpCounter::xor_popcounts, counter, bank_port_,
+               static_cast<std::uint64_t>(p_ * bword_stride_ * lb));
   } else if (metric_ == SearchMetric::L1BestMatch) {
+    // Match-line noise injects here only (the Float32 spec path): word m's
+    // static offset lands after its full d-term accumulation, identically
+    // to the scalar search(), so blocked == scalar holds with noise on.
+    const float* nz = mlnoise_.empty() ? nullptr : mlnoise_.data();
     float dist[kCamTileMax];
     float best[kCamTileMax];
     std::fill(best, best + lb, std::numeric_limits<float>::max());
@@ -602,6 +612,10 @@ void CamArray::search_block_core(const float* queries, std::int64_t lb, std::int
         const float* q = queries + i * lb;
         for (std::int64_t l = 0; l < lb; ++l) dist[l] += std::fabs(q[l] - wi);
       }
+      if (nz) {
+        const float nm = nz[m];
+        for (std::int64_t l = 0; l < lb; ++l) dist[l] += nm;
+      }
       const std::int32_t m32 = static_cast<std::int32_t>(m);
       for (std::int64_t l = 0; l < lb; ++l) {
         const bool better = dist[l] < best[l];
@@ -609,8 +623,10 @@ void CamArray::search_block_core(const float* queries, std::int64_t lb, std::int
         hit32[l] = better ? m32 : hit32[l];
       }
     }
-    counter.adds.fetch_add(static_cast<std::uint64_t>(2 * p_ * d_ * lb), std::memory_order_relaxed);
+    count_into(&OpCounter::adds, counter, bank_port_,
+               static_cast<std::uint64_t>(2 * p_ * d_ * lb));
   } else {
+    const float* nz = mlnoise_.empty() ? nullptr : mlnoise_.data();
     float dist[kCamTileMax];
     float best[kCamTileMax];
     std::fill(best, best + lb, -std::numeric_limits<float>::max());
@@ -622,6 +638,10 @@ void CamArray::search_block_core(const float* queries, std::int64_t lb, std::int
         const float* q = queries + i * lb;
         for (std::int64_t l = 0; l < lb; ++l) dist[l] += q[l] * wi;
       }
+      if (nz) {
+        const float nm = nz[m];
+        for (std::int64_t l = 0; l < lb; ++l) dist[l] += nm;
+      }
       const std::int32_t m32 = static_cast<std::int32_t>(m);
       for (std::int64_t l = 0; l < lb; ++l) {
         const bool better = dist[l] > best[l];
@@ -629,10 +649,10 @@ void CamArray::search_block_core(const float* queries, std::int64_t lb, std::int
         hit32[l] = better ? m32 : hit32[l];
       }
     }
-    counter.adds.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
-    counter.muls.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
+    count_into(&OpCounter::adds, counter, bank_port_, static_cast<std::uint64_t>(p_ * d_ * lb));
+    count_into(&OpCounter::muls, counter, bank_port_, static_cast<std::uint64_t>(p_ * d_ * lb));
   }
-  counter.cam_searches.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
+  count_into(&OpCounter::cam_searches, counter, bank_port_, static_cast<std::uint64_t>(lb));
   record_usage_block_i32(hit32, lb);
 }
 
@@ -695,8 +715,8 @@ void CamArray::search_accumulate_block(const float* queries, std::int64_t lb, co
     for (std::int64_t l = 0; l < lb; ++l) o[l] += row[hit32[l]];
   }
 #endif
-  counter.adds.fetch_add(static_cast<std::uint64_t>(cout * lb), std::memory_order_relaxed);
-  counter.lut_reads.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
+  count_into(&OpCounter::adds, counter, bank_port_, static_cast<std::uint64_t>(cout * lb));
+  count_into(&OpCounter::lut_reads, counter, bank_port_, static_cast<std::uint64_t>(lb));
 }
 
 void CamArray::similarity_softmax_accumulate_block(const float* queries, std::int64_t lb,
@@ -782,9 +802,11 @@ void CamArray::similarity_softmax_accumulate_block(const float* queries, std::in
       }
     }
 #endif
-    counter.cam_searches.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
-    counter.adds_q.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
-    counter.muls_q.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
+    count_into(&OpCounter::cam_searches, counter, bank_port_, static_cast<std::uint64_t>(lb));
+    count_into(&OpCounter::adds_q, counter, bank_port_,
+               static_cast<std::uint64_t>(p_ * d_ * lb));
+    count_into(&OpCounter::muls_q, counter, bank_port_,
+               static_cast<std::uint64_t>(p_ * d_ * lb));
   } else {
     similarity_scores_block(queries, lb, scores, counter);
   }
@@ -815,12 +837,23 @@ void CamArray::similarity_softmax_accumulate_block(const float* queries, std::in
   }
   record_usage_block_i32(hit32, lb);
   lut.weighted_accumulate_block(scores, lb, out, out_stride, counter);
+  // The weighted accumulate ledgers inside LutMemory (adds/muls cout*p per
+  // column + one lut_read per column); mirror the same amounts into the
+  // bank port so the bank ledger stays equal to this array's share of the
+  // network total. Keep in sync with LutMemory::weighted_accumulate_block.
+  if (bank_port_) {
+    const std::uint64_t wacc = static_cast<std::uint64_t>(lut.cout() * p_ * lb);
+    bank_port_->adds.fetch_add(wacc, std::memory_order_relaxed);
+    bank_port_->muls.fetch_add(wacc, std::memory_order_relaxed);
+    bank_port_->lut_reads.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
+  }
 }
 
 void CamArray::similarity_scores_block(const float* queries, std::int64_t lb, float* scores,
                                        OpCounter& counter) const {
   if (lb <= 0) return;
   if (lb > kCamTileMax) throw std::invalid_argument("CamArray: tile larger than kCamTileMax");
+  const float* nz = mlnoise_.empty() ? nullptr : mlnoise_.data();
   for (std::int64_t m = 0; m < p_; ++m) {
     const float* w = words_.data() + m * d_;
     float* row = scores + m * lb;
@@ -830,10 +863,14 @@ void CamArray::similarity_scores_block(const float* queries, std::int64_t lb, fl
       const float* q = queries + i * lb;
       for (std::int64_t l = 0; l < lb; ++l) row[l] += q[l] * wi;
     }
+    if (nz) {
+      const float nm = nz[m];
+      for (std::int64_t l = 0; l < lb; ++l) row[l] += nm;
+    }
   }
-  counter.cam_searches.fetch_add(static_cast<std::uint64_t>(lb), std::memory_order_relaxed);
-  counter.adds.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
-  counter.muls.fetch_add(static_cast<std::uint64_t>(p_ * d_ * lb), std::memory_order_relaxed);
+  count_into(&OpCounter::cam_searches, counter, bank_port_, static_cast<std::uint64_t>(lb));
+  count_into(&OpCounter::adds, counter, bank_port_, static_cast<std::uint64_t>(p_ * d_ * lb));
+  count_into(&OpCounter::muls, counter, bank_port_, static_cast<std::uint64_t>(p_ * d_ * lb));
 }
 
 void CamArray::record_usage_block(const std::int64_t* hits, std::int64_t lb) const {
@@ -880,15 +917,26 @@ void CamArray::record_usage_block_i32(const std::int32_t* hits, std::int64_t lb)
 
 void CamArray::similarity_scores(const float* query, std::int64_t stride, float* scores,
                                  OpCounter& counter) const {
-  counter.cam_searches.fetch_add(1, std::memory_order_relaxed);
+  count_into(&OpCounter::cam_searches, counter, bank_port_, 1);
+  const float* nz = mlnoise_.empty() ? nullptr : mlnoise_.data();
   for (std::int64_t m = 0; m < p_; ++m) {
     const float* w = words_.data() + m * d_;
     float score = 0.f;
     for (std::int64_t i = 0; i < d_; ++i) score += query[i * stride] * w[i];
+    if (nz) score += nz[m];
     scores[m] = score;
   }
-  counter.adds.fetch_add(static_cast<std::uint64_t>(p_ * d_), std::memory_order_relaxed);
-  counter.muls.fetch_add(static_cast<std::uint64_t>(p_ * d_), std::memory_order_relaxed);
+  count_into(&OpCounter::adds, counter, bank_port_, static_cast<std::uint64_t>(p_ * d_));
+  count_into(&OpCounter::muls, counter, bank_port_, static_cast<std::uint64_t>(p_ * d_));
+}
+
+void CamArray::set_matchline_noise(std::vector<float> offsets) {
+  if (static_cast<std::int64_t>(offsets.size()) != p_) {
+    throw std::invalid_argument("CamArray: matchline noise needs one offset per word (" +
+                                std::to_string(p_) + "), got " +
+                                std::to_string(offsets.size()));
+  }
+  mlnoise_ = std::move(offsets);
 }
 
 std::vector<std::int64_t> CamArray::prune_unused() {
@@ -900,14 +948,20 @@ std::vector<std::int64_t> CamArray::prune_unused() {
   Tensor compact({static_cast<std::int64_t>(kept.size()), d_});
   std::vector<std::uint64_t> usage_compact;
   usage_compact.reserve(kept.size());
+  std::vector<float> noise_compact;
+  if (!mlnoise_.empty()) noise_compact.reserve(kept.size());
   for (std::size_t i = 0; i < kept.size(); ++i) {
     const float* src = words_.data() + kept[i] * d_;
     std::copy(src, src + d_, compact.data() + static_cast<std::int64_t>(i) * d_);
     usage_compact.push_back(usage_[static_cast<std::size_t>(kept[i])]);
+    // A word keeps its match-line offset across pruning: the offset models
+    // the physical line the word stays on.
+    if (!mlnoise_.empty()) noise_compact.push_back(mlnoise_[static_cast<std::size_t>(kept[i])]);
   }
   words_ = std::move(compact);
   p_ = words_.dim(0);
   usage_ = std::move(usage_compact);
+  mlnoise_ = std::move(noise_compact);
   // Quantized planes snapshot the words, so pruning invalidates them;
   // rebuild whichever planes were already prepared.
   if (int8_ready_) prepare_quantized(CamPrecision::Int8);

@@ -173,6 +173,27 @@ class CamArray {
   /// map so the owner can compact its LUT rows identically (§5 pruning).
   std::vector<std::int64_t> prune_unused();
 
+  /// Wires this array to a simulated bank's op ledger (cam::BankMap): every
+  /// search kernel mirrors its exact op aggregates into the port alongside
+  /// the caller's OpCounter — one extra relaxed atomic per aggregate site,
+  /// nothing on the per-element path. nullptr detaches. The port must
+  /// outlive every concurrent search (the engine wires it at compile time,
+  /// before serving starts).
+  void set_bank_port(OpCounter* port) { bank_port_ = port; }
+  OpCounter* bank_port() const { return bank_port_; }
+
+  /// Static per-word match-line offsets (cam/nonideal device variation):
+  /// offsets[m] is added to word m's L1 distance / dot score in the FLOAT32
+  /// search paths — the same perturbation a mis-calibrated match line
+  /// applies to every search it serves. Empty = off, and the off path is
+  /// bitwise-untouched (the offsets are applied after each word's full
+  /// accumulation, so scalar and blocked searches stay identical to each
+  /// other with noise on, too). Quantized (Int8/Binary) scans never inject:
+  /// noise is a Float32-only study (the engine enforces this).
+  void set_matchline_noise(std::vector<float> offsets);
+  void clear_matchline_noise() { mlnoise_.clear(); }
+  const std::vector<float>& matchline_noise() const { return mlnoise_; }
+
  private:
   void search_block_core(const float* queries, std::int64_t lb, std::int32_t* hit32,
                          OpCounter& counter, CamPrecision precision) const;
@@ -182,6 +203,8 @@ class CamArray {
   std::int64_t p_, d_;
   SearchMetric metric_;
   mutable std::vector<std::uint64_t> usage_;
+  OpCounter* bank_port_ = nullptr;  ///< simulated bank ledger (BankMap), may be null
+  std::vector<float> mlnoise_;      ///< per-word match-line offsets, empty = off
 
   // Int8 plane: affine-quantized prototype codes [p, qstride_] with rows
   // zero-padded to a 16-byte multiple (aligned rows, tail-free byte loads).

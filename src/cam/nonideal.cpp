@@ -48,6 +48,60 @@ QuantizationReport quantize_to_intn(CamConv2d& layer, int bits) {
   return report;
 }
 
+MatchlineNoiseReport apply_matchline_noise(CamNetworkExport& network, const BankMap& banks,
+                                           const MatchlineNoiseConfig& config) {
+  if (config.sigma < 0) {
+    throw std::invalid_argument("apply_matchline_noise: sigma must be >= 0");
+  }
+  // One independent stream per bank: variation is a property of the
+  // physical bank the words landed on, so re-placing the same model onto a
+  // different bank layout yields a different (but still deterministic)
+  // device. splitmix-style odd-constant spread keeps nearby bank ids from
+  // producing correlated xoshiro seeds.
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(banks.bank_count()));
+  for (std::int64_t b = 0; b < banks.bank_count(); ++b) {
+    streams.emplace_back(config.seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(b + 1));
+  }
+
+  MatchlineNoiseReport report;
+  double abs_sum = 0;
+  for (const BankAssignment& a : banks.assignments()) {
+    CamArray& array = network.cam_layers[static_cast<std::size_t>(a.layer)]->array(a.group);
+    const Tensor& words = array.words();
+    const std::int64_t p = array.word_count();
+    const std::int64_t d = array.word_dim();
+
+    // Scale reference: the mean l1 norm of this array's stored words — the
+    // "full discharge" of a typical match line in this subspace.
+    double norm_sum = 0;
+    for (std::int64_t i = 0; i < words.numel(); ++i) norm_sum += std::fabs(words[i]);
+    const double mean_norm = p > 0 ? norm_sum / static_cast<double>(p) : 0.0;
+    (void)d;
+
+    Rng& rng = streams[static_cast<std::size_t>(a.bank)];
+    std::vector<float> offsets(static_cast<std::size_t>(p));
+    for (std::int64_t m = 0; m < p; ++m) {
+      const float off = static_cast<float>(config.sigma * mean_norm) * rng.normal();
+      offsets[static_cast<std::size_t>(m)] = off;
+      const double mag = std::fabs(static_cast<double>(off));
+      abs_sum += mag;
+      if (mag > report.max_abs_offset) report.max_abs_offset = mag;
+    }
+    array.set_matchline_noise(std::move(offsets));
+    ++report.arrays;
+    report.words += p;
+  }
+  if (report.words > 0) report.mean_abs_offset = abs_sum / static_cast<double>(report.words);
+  return report;
+}
+
+void clear_matchline_noise(CamNetworkExport& network) {
+  for (CamConv2d* layer : network.cam_layers) {
+    for (std::int64_t j = 0; j < layer->groups(); ++j) layer->array(j).clear_matchline_noise();
+  }
+}
+
 QuantizationReport quantize_to_intn(CamNetworkExport& network, int bits) {
   QuantizationReport total;
   total.levels = (1LL << bits) - 1;

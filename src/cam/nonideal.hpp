@@ -10,12 +10,21 @@
 //     CAM words and LUT tables to n-bit integers (dequantized back to the
 //     float grid, i.e. "fake quantization" — values sit exactly on the
 //     2^n-1 levels a memristive cell can hold).
-//   * MatchlineNoise: additive Gaussian perturbation of the match-line
-//     distance/score at search time, relative to the score magnitude.
+//   * Match-line noise: static per-word Gaussian offsets of the match-line
+//     distance/score, modeling device variation — each stored word sits on
+//     a physical line whose discharge is mis-calibrated by a fixed amount,
+//     so the SAME perturbation applies to every search that line serves.
+//     Offsets are drawn PER BANK (cam::BankMap placement) from a seeded
+//     deterministic stream: two banks with the same seed but different ids
+//     get different variation, matching how process variation is
+//     die-location-dependent. Injection happens inside the Float32 CamArray
+//     scan paths (see CamArray::set_matchline_noise); with no offsets set
+//     the search path is bitwise-untouched.
 #pragma once
 
 #include <cstdint>
 
+#include "cam/bank_map.hpp"
 #include "cam/cam_conv2d.hpp"
 #include "cam/convert.hpp"
 #include "tensor/rng.hpp"
@@ -35,5 +44,36 @@ QuantizationReport quantize_to_intn(CamConv2d& layer, int bits);
 
 /// Whole-network variant.
 QuantizationReport quantize_to_intn(CamNetworkExport& network, int bits);
+
+/// Device-variation knob for the match-line noise model. `sigma` is the
+/// offset magnitude RELATIVE to each array's mean stored-word l1 norm
+/// (a dimensionless variation coefficient: 0.01 ~= "match lines are
+/// mis-calibrated by ~1% of a typical word's full discharge"), so one
+/// sigma is meaningful across layers whose word scales differ by orders
+/// of magnitude. sigma = 0 draws all-zero offsets (still installed —
+/// use clear_matchline_noise to truly detach).
+struct MatchlineNoiseConfig {
+  double sigma = 0.0;
+  std::uint64_t seed = 0x5EEDCA15ull;
+};
+
+struct MatchlineNoiseReport {
+  std::int64_t arrays = 0;        ///< arrays that received offsets
+  std::int64_t words = 0;         ///< total match lines perturbed
+  double mean_abs_offset = 0.0;   ///< mean |offset| across all words
+  double max_abs_offset = 0.0;    ///< worst single-line |offset|
+};
+
+/// Draws and installs static per-word match-line offsets for every array of
+/// `network`, seeded PER BANK from `banks`' placement: each bank gets an
+/// independent stream derived from (config.seed, bank id), and arrays are
+/// visited in the deterministic assignment order, so the same export +
+/// BankConfig + noise config always yields the same device. Offsets are
+/// offset[m] = sigma * mean_word_l1_norm(array) * N(0, 1).
+MatchlineNoiseReport apply_matchline_noise(CamNetworkExport& network, const BankMap& banks,
+                                           const MatchlineNoiseConfig& config);
+
+/// Detaches all offsets; the search paths return to the bitwise spec.
+void clear_matchline_noise(CamNetworkExport& network);
 
 }  // namespace pecan::cam

@@ -53,6 +53,32 @@ struct OpCounter {
   ops::OpCount quantized_arithmetic() const {
     return {adds_q.load(std::memory_order_relaxed), muls_q.load(std::memory_order_relaxed)};
   }
+
+  /// Plain snapshot of the full ledger, for the energy model (exact: each
+  /// field is one relaxed load, and counts are only priced after the work
+  /// that produced them has joined or is quiesced enough for stats).
+  ops::OpTotals totals() const {
+    ops::OpTotals t;
+    t.adds = adds.load(std::memory_order_relaxed);
+    t.muls = muls.load(std::memory_order_relaxed);
+    t.cam_searches = cam_searches.load(std::memory_order_relaxed);
+    t.lut_reads = lut_reads.load(std::memory_order_relaxed);
+    t.adds_q = adds_q.load(std::memory_order_relaxed);
+    t.muls_q = muls_q.load(std::memory_order_relaxed);
+    t.xor_popcounts = xor_popcounts.load(std::memory_order_relaxed);
+    return t;
+  }
 };
+
+/// Relaxed add to one `counter` field, mirrored into `port` when non-null.
+/// The CAM kernels route every aggregate through this so the network-wide
+/// ledger and an array's simulated bank (cam::BankMap) see IDENTICAL
+/// amounts by construction — per-bank energy sums to the network total
+/// exactly, not approximately.
+inline void count_into(std::atomic<std::uint64_t> OpCounter::* field, OpCounter& counter,
+                       OpCounter* port, std::uint64_t n) {
+  (counter.*field).fetch_add(n, std::memory_order_relaxed);
+  if (port) ((*port).*field).fetch_add(n, std::memory_order_relaxed);
+}
 
 }  // namespace pecan::cam

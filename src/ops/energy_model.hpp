@@ -1,10 +1,29 @@
-// Cycle / power model used for the hardware comparison of Table 5.
+// Cycle / power model used for the hardware comparison of Table 5, plus the
+// per-op energy table behind the serving-path energy ledger.
 //
-// The paper adopts the Intel VIA Nano 2000 figures from the AdderNet paper:
-// a 32-bit float multiplication costs 4 latency cycles and an addition 2,
-// and the power of a 32-bit multiplier vs adder unit is 4:1. Table 5's
-// "Normalized Power" column divides each design's power proxy by the
-// PECAN-D value, and "Latency(cycles)" is the raw weighted cycle count.
+// Two layers of modeling live here:
+//
+//   * Table 5 back-compat (latency_cycles / power_units / normalized_power):
+//     the paper adopts the Intel VIA Nano 2000 figures from the AdderNet
+//     paper — a 32-bit float multiplication costs 4 latency cycles and an
+//     addition 2, and the power of a 32-bit multiplier vs adder unit is 4:1.
+//     Table 5's "Normalized Power" column divides each design's power proxy
+//     by the PECAN-D value, and "Latency(cycles)" is the raw weighted cycle
+//     count.
+//
+//   * Per-op energy (energy()): prices a full dynamic op ledger
+//     (ops::OpTotals, snapshotted from the runtime's exact cam::OpCounter)
+//     in picojoules, keyed by the op family — which is keyed by PRECISION,
+//     because the quantized CAM kernels ledger their int8-lane and
+//     sign-plane work separately from the float32 spec ops. The default
+//     table uses Horowitz-style 45 nm CMOS estimates (ISSCC 2014 keynote
+//     ballpark: fp32 add 0.9 pJ / mul 3.7 pJ, int8 add 0.03 pJ / mul
+//     0.2 pJ) plus behavioral constants for the CAM-specific events: one
+//     match-line precharge + winner-take-all encode per search, one 64-bit
+//     XOR+popcount tree per packed sign word, one SRAM row activation per
+//     LUT read. The energy of a request is EXACT given the table: integer
+//     op counts x fixed per-op costs, no sampling and no timing dependence,
+//     so energy numbers are gateable in CI like every other number here.
 #pragma once
 
 #include <cstdint>
@@ -13,11 +32,38 @@
 
 namespace pecan::ops {
 
+/// Energy of one op ledger split by op family (picojoules). The fp32 /
+/// int8 / binary split mirrors the precision-keyed ledgers of
+/// cam::OpCounter: a float32 deployment spends in fp32_pj, an int8 one in
+/// int8_pj, a sign-plane one in binary_pj — the serving-path number behind
+/// the paper's bitwidth/energy trade-off.
+struct EnergyBreakdown {
+  double fp32_pj = 0.0;    ///< float32 adds + muls
+  double int8_pj = 0.0;    ///< int8-lane adds + muls (quantized scans)
+  double binary_pj = 0.0;  ///< 64-bit XOR+popcount word ops (sign-plane scans)
+  double search_pj = 0.0;  ///< per-search match-line precharge + WTA encode
+  double lut_pj = 0.0;     ///< LUT row activations
+
+  double total_pj() const { return fp32_pj + int8_pj + binary_pj + search_pj + lut_pj; }
+};
+
 struct EnergyModel {
   std::uint64_t mul_latency_cycles = 4;  ///< Intel VIA Nano 2000 float mul
   std::uint64_t add_latency_cycles = 2;  ///< Intel VIA Nano 2000 float add
   double mul_power_units = 4.0;          ///< 32-bit mul:add power ratio 4:1
   double add_power_units = 1.0;
+
+  // Per-op energies in picojoules (45 nm CMOS, Horowitz-style estimates;
+  // the CAM/LUT constants are behavioral — what matters for the serving
+  // stats is that they are FIXED, so the ledger is exact and ratios between
+  // operating points are machine-independent).
+  double fp32_add_pj = 0.9;
+  double fp32_mul_pj = 3.7;
+  double int8_add_pj = 0.03;
+  double int8_mul_pj = 0.2;
+  double xor_popcount_word_pj = 0.16;  ///< one 64-bit XOR + popcount reduction
+  double cam_search_pj = 1.1;          ///< match-line precharge + WTA per search
+  double lut_read_pj = 2.5;            ///< one LUT row activation (SRAM read)
 
   std::uint64_t latency_cycles(const OpCount& ops) const {
     return mul_latency_cycles * ops.muls + add_latency_cycles * ops.adds;
@@ -31,6 +77,19 @@ struct EnergyModel {
   /// Table 5 normalization: power relative to a reference design.
   double normalized_power(const OpCount& ops, const OpCount& reference) const {
     return power_units(ops) / power_units(reference);
+  }
+
+  /// Exact energy of a dynamic op ledger: integer counts x the per-op table.
+  EnergyBreakdown energy(const OpTotals& t) const {
+    EnergyBreakdown e;
+    e.fp32_pj = fp32_add_pj * static_cast<double>(t.adds) +
+                fp32_mul_pj * static_cast<double>(t.muls);
+    e.int8_pj = int8_add_pj * static_cast<double>(t.adds_q) +
+                int8_mul_pj * static_cast<double>(t.muls_q);
+    e.binary_pj = xor_popcount_word_pj * static_cast<double>(t.xor_popcounts);
+    e.search_pj = cam_search_pj * static_cast<double>(t.cam_searches);
+    e.lut_pj = lut_read_pj * static_cast<double>(t.lut_reads);
+    return e;
   }
 };
 

@@ -32,4 +32,31 @@ struct OpCount {
   std::string str() const;
 };
 
+/// Plain snapshot of a full dynamic op ledger (cam::OpCounter::totals()):
+/// every op family the CAM executor counts, as plain integers so the energy
+/// model (ops/energy_model.hpp) can price a request without touching
+/// atomics. Field meanings mirror cam::OpCounter one-to-one.
+struct OpTotals {
+  std::uint64_t adds = 0;           ///< float32 additions (match lines + LUT adder trees)
+  std::uint64_t muls = 0;           ///< float32 multiplications (crossbar reads, weighted sums)
+  std::uint64_t cam_searches = 0;   ///< best-match queries issued
+  std::uint64_t lut_reads = 0;      ///< LUT rows fetched
+  std::uint64_t adds_q = 0;         ///< int8-lane adds (quantized match lines)
+  std::uint64_t muls_q = 0;         ///< int8-lane muls (quantized crossbar reads)
+  std::uint64_t xor_popcounts = 0;  ///< 64-bit XOR+popcount word ops (sign-plane)
+
+  OpTotals& operator+=(const OpTotals& other) {
+    adds += other.adds;
+    muls += other.muls;
+    cam_searches += other.cam_searches;
+    lut_reads += other.lut_reads;
+    adds_q += other.adds_q;
+    muls_q += other.muls_q;
+    xor_popcounts += other.xor_popcounts;
+    return *this;
+  }
+  friend OpTotals operator+(OpTotals a, const OpTotals& b) { return a += b; }
+  friend bool operator==(const OpTotals&, const OpTotals&) = default;
+};
+
 }  // namespace pecan::ops

@@ -425,6 +425,13 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
                            ",\"eff_batch_wait_us\":" +
                            std::to_string(s.engine.eff_batch_wait_us) +
                            ",\"depth_cap\":" + std::to_string(s.engine.depth_cap) +
+                           ",\"energy_pj\":" + ms(s.engine.energy_pj) +
+                           ",\"energy_per_inference_nj\":" +
+                           ms(s.engine.energy_per_inference_nj) +
+                           ",\"noise_shadow_samples\":" +
+                           std::to_string(s.engine.noise_shadow_samples) +
+                           ",\"accuracy_under_variation\":" +
+                           ms(s.engine.accuracy_under_variation) +
                            ",\"classes\":[";
         for (std::size_t c = 0; c < s.engine.classes.size(); ++c) {
           const EngineClassStats& cls = s.engine.classes[c];
@@ -433,6 +440,17 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
                   ",\"shed\":" + std::to_string(cls.shed) +
                   ",\"depth\":" + std::to_string(cls.depth) +
                   ",\"p50_ms\":" + ms(cls.p50_ms) + ",\"p99_ms\":" + ms(cls.p99_ms) + "}";
+        }
+        json += "],\"banks\":[";
+        for (std::size_t b = 0; b < s.engine.banks.size(); ++b) {
+          const cam::BankStats& bank = s.engine.banks[b];
+          if (b > 0) json += ',';
+          json += "{\"arrays\":" + std::to_string(bank.arrays) +
+                  ",\"words\":" + std::to_string(bank.words) +
+                  ",\"capacity_words\":" + std::to_string(bank.capacity_words) +
+                  ",\"occupancy\":" + ms(bank.occupancy) +
+                  ",\"searches\":" + std::to_string(bank.searches) +
+                  ",\"energy_pj\":" + ms(bank.energy_pj) + "}";
         }
         json += "]}";
         wire::encode_frame(reply, frame.opcode, wire::Status::Ok, frame.request_id, model, json);

@@ -107,6 +107,67 @@ TEST(EnergyModel, Table5GoldenValues) {
   EXPECT_NEAR(model.normalized_power(pecan_d, pecan_d), 1.0, 1e-12);
 }
 
+TEST(EnergyLedger, ExactFloat32Ledger) {
+  // The energy of a ledger is integer counts x the per-op table, nothing
+  // else — assert it to double-precision exactness against hand arithmetic.
+  const EnergyModel model;
+  OpTotals t;
+  t.adds = 1000;
+  t.muls = 250;
+  t.cam_searches = 40;
+  t.lut_reads = 40;
+  const EnergyBreakdown e = model.energy(t);
+  EXPECT_DOUBLE_EQ(e.fp32_pj, 1000 * 0.9 + 250 * 3.7);
+  EXPECT_DOUBLE_EQ(e.int8_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.binary_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.search_pj, 40 * 1.1);
+  EXPECT_DOUBLE_EQ(e.lut_pj, 40 * 2.5);
+  EXPECT_DOUBLE_EQ(e.total_pj(), e.fp32_pj + e.search_pj + e.lut_pj);
+}
+
+TEST(EnergyLedger, ExactInt8Ledger) {
+  const EnergyModel model;
+  OpTotals t;
+  t.adds_q = 123456;
+  t.muls_q = 7890;
+  t.cam_searches = 64;
+  t.lut_reads = 64;
+  t.adds = 512;  // the f32 LUT accumulate the quantized scan still feeds
+  const EnergyBreakdown e = model.energy(t);
+  EXPECT_DOUBLE_EQ(e.int8_pj, 123456 * 0.03 + 7890 * 0.2);
+  EXPECT_DOUBLE_EQ(e.fp32_pj, 512 * 0.9);
+  EXPECT_DOUBLE_EQ(e.binary_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_pj(), e.int8_pj + e.fp32_pj + 64 * 1.1 + 64 * 2.5);
+}
+
+TEST(EnergyLedger, ExactBinaryLedgerAndCustomTable) {
+  EnergyModel model;
+  OpTotals t;
+  t.xor_popcounts = 9999;
+  t.cam_searches = 128;
+  const EnergyBreakdown e = model.energy(t);
+  EXPECT_DOUBLE_EQ(e.binary_pj, 9999 * 0.16);
+  EXPECT_DOUBLE_EQ(e.search_pj, 128 * 1.1);
+  // The table is data, not code: repricing the same ledger scales linearly.
+  model.xor_popcount_word_pj *= 2.0;
+  EXPECT_DOUBLE_EQ(model.energy(t).binary_pj, 2.0 * e.binary_pj);
+}
+
+TEST(EnergyLedger, TotalsAreAdditive) {
+  OpTotals a, b;
+  a.adds = 10;
+  a.cam_searches = 3;
+  b.adds = 5;
+  b.xor_popcounts = 7;
+  const OpTotals sum = a + b;
+  EXPECT_EQ(sum.adds, 15u);
+  EXPECT_EQ(sum.cam_searches, 3u);
+  EXPECT_EQ(sum.xor_popcounts, 7u);
+  const EnergyModel model;
+  EXPECT_DOUBLE_EQ(model.energy(sum).total_pj(),
+                   model.energy(a).total_pj() + model.energy(b).total_pj());
+}
+
 TEST(Format, HumanCountMatchesPaperStyle) {
   EXPECT_EQ(util::human_count(248100), "248.10K");
   EXPECT_EQ(util::human_count(2000000), "2.00M");
