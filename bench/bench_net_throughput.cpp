@@ -21,11 +21,32 @@
 // --host/--port (model name via --model). --smoke shrinks every count for
 // CI; --json writes the machine-readable rows next to BENCH_runtime.json.
 //
+// --faults replaces both loops with a goodput-under-chaos mode: the bench
+// arms seeded fault-injection specs (docs/FAULTS.md) against its own
+// self-hosted server and drives self-healing RetryPolicy clients through
+// the wreckage. Two scenarios:
+//
+//   * fault/chaos    — torn reads, chunked sends, and connections killed
+//                      mid-request; no deadlines. The self-healing client
+//                      must reconnect + replay its way to goodput ~1.0.
+//   * fault/deadline — a fraction of requests hit an injected executor
+//                      delay longer than their deadline budget; those MUST
+//                      expire (bounded expired_frac), everything else must
+//                      complete.
+//
+// goodput = fraction of requests that completed with a BITWISE-correct
+// reply; expired_frac = fraction that ended DEADLINE_EXCEEDED. Both are
+// hardware-independent (probabilities, not rates), so BENCH_net.json gates
+// them with absolute min_goodput / max_expired_frac bounds. Fault sites are
+// process-global: against an external server (--port) only the client-side
+// sites fire locally — arm the server via `model_server --fault-spec`.
+//
 // Weights are random — wire + serving cost is shape-determined.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -41,6 +62,7 @@
 #include "runtime/server.hpp"
 #include "tensor/rng.hpp"
 #include "util/cli.hpp"
+#include "util/fault_injector.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -57,6 +79,8 @@ struct JsonRow {
   double p50_ms = -1;
   double p99_ms = -1;
   long long shed = -1;
+  double goodput = -1;       ///< fault/ rows: bitwise-correct completions / total
+  double expired_frac = -1;  ///< fault/ rows: DEADLINE_EXCEEDED outcomes / total
 };
 
 std::vector<JsonRow> g_json_rows;
@@ -77,6 +101,8 @@ void write_json(const std::string& path, int executors) {
     if (r.p50_ms >= 0) std::fprintf(f, ", \"p50_ms\": %.4g", r.p50_ms);
     if (r.p99_ms >= 0) std::fprintf(f, ", \"p99_ms\": %.4g", r.p99_ms);
     if (r.shed >= 0) std::fprintf(f, ", \"shed\": %lld", r.shed);
+    if (r.goodput >= 0) std::fprintf(f, ", \"goodput\": %.4g", r.goodput);
+    if (r.expired_frac >= 0) std::fprintf(f, ", \"expired_frac\": %.4g", r.expired_frac);
     std::fprintf(f, "}%s\n", i + 1 < g_json_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -230,6 +256,88 @@ std::vector<double> bursty_schedule(std::size_t n, double rate, std::size_t burs
   return offsets;
 }
 
+// --------------------------------------------------------------- fault mode
+
+struct ChaosResult {
+  long long ok = 0;       ///< completed with a bitwise-correct reply
+  long long expired = 0;  ///< ended DEADLINE_EXCEEDED (client- or server-side)
+  long long failed = 0;   ///< any other failure, or a bit-inexact reply
+  double rps = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+
+  long long total() const { return ok + expired + failed; }
+  double goodput() const {
+    return total() > 0 ? static_cast<double>(ok) / static_cast<double>(total()) : 0.0;
+  }
+  double expired_frac() const {
+    return total() > 0 ? static_cast<double>(expired) / static_cast<double>(total()) : 0.0;
+  }
+};
+
+/// Closed-loop chaos pass: `connections` self-healing clients each push
+/// `per_client` single-sample infers (optionally deadlined) through whatever
+/// fault spec is currently armed, and every Ok reply is checked bitwise
+/// against the fault-free reference output.
+ChaosResult run_chaos(const std::string& host, std::uint16_t port, const std::string& model,
+                      const Tensor& sample, const Tensor& expected, int connections,
+                      std::int64_t per_client, std::uint32_t deadline_ms) {
+  std::atomic<long long> ok{0}, expired{0}, failed{0};
+  std::atomic<std::uint64_t> retries{0}, reconnects{0};
+  util::Timer timer;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&] {
+      runtime::RetryPolicy policy;
+      policy.max_attempts = 10;
+      policy.base_backoff = std::chrono::milliseconds(2);
+      policy.max_backoff = std::chrono::milliseconds(20);
+      runtime::NetClient client(host, port, policy);
+      for (std::int64_t r = 0; r < per_client; ++r) {
+        try {
+          const Tensor out = client.infer(model, sample, 0, deadline_ms);
+          const bool exact =
+              out.same_shape(expected) &&
+              std::memcmp(out.data(), expected.data(),
+                          static_cast<std::size_t>(out.numel()) * sizeof(float)) == 0;
+          (exact ? ok : failed).fetch_add(1);
+        } catch (const runtime::DeadlineExceededError&) {
+          expired.fetch_add(1);
+        } catch (const std::exception&) {
+          failed.fetch_add(1);
+        }
+      }
+      retries.fetch_add(client.retries());
+      reconnects.fetch_add(client.reconnects());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed = timer.elapsed_s();
+
+  ChaosResult out;
+  out.ok = ok.load();
+  out.expired = expired.load();
+  out.failed = failed.load();
+  out.rps = elapsed > 0 ? static_cast<double>(out.total()) / elapsed : 0.0;
+  out.retries = retries.load();
+  out.reconnects = reconnects.load();
+  return out;
+}
+
+void emit_chaos(const char* label, const std::string& row_name, const ChaosResult& r) {
+  std::printf("%-14s %9.1f %8.3f %12.3f %6lld %7lld %6lld %7llu %10llu\n", label, r.rps,
+              r.goodput(), r.expired_frac(), r.ok, r.expired, r.failed,
+              static_cast<unsigned long long>(r.retries),
+              static_cast<unsigned long long>(r.reconnects));
+  std::fflush(stdout);
+  JsonRow row;
+  row.name = row_name;
+  row.rps = r.rps;
+  row.goodput = r.goodput();
+  row.expired_frac = r.expired_frac();
+  g_json_rows.push_back(row);
+}
+
 void emit(const char* label, const std::string& row_name, const RunResult& r, double speedup) {
   std::printf("%-14s %9.1f %8s %9.3f %9.3f %6lld\n", label, r.rps,
               speedup >= 0 ? (std::to_string(speedup).substr(0, 4) + "x").c_str() : "-", r.p50_ms,
@@ -250,6 +358,7 @@ void emit(const char* label, const std::string& row_name, const RunResult& r, do
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
   const bool smoke = args.get_bool("smoke", false);
+  const bool faults = args.get_bool("faults", false);
   const std::string host = args.get("host", "127.0.0.1");
   auto port = static_cast<std::uint16_t>(args.get_int("port", 0));  // 0 = self-host
   const std::string model = args.get("model", "lenet5-d");
@@ -296,30 +405,67 @@ int main(int argc, char** argv) {
     for (int i = 0; i < (smoke ? 2 : 8); ++i) probe.infer(model, sample);
   }
 
-  std::printf("\nclosed loop (%lld req/connection):\n", static_cast<long long>(closed_requests));
-  std::printf("%-14s %9s %8s %9s %9s %6s\n", "shape", "RPS", "scaling", "p50 ms", "p99 ms",
-              "shed");
-  double c1_rps = 0;
-  for (const int connections : {1, 2, 4, 8}) {
-    const RunResult r = run_closed(host, port, model, sample, connections, closed_requests);
-    if (connections == 1) c1_rps = r.rps;
-    const std::string label = "closed/c" + std::to_string(connections);
-    emit(label.c_str(), "net/" + label, r, c1_rps > 0 ? r.rps / c1_rps : -1);
-  }
+  if (faults) {
+    // Chaos mode. The bitwise reference comes from a fault-free call BEFORE
+    // any spec is armed; every Ok reply under chaos must reproduce it.
+    Tensor expected;
+    {
+      runtime::NetClient reference(host, port);
+      expected = reference.infer(model, sample);
+    }
+    util::FaultInjector& injector = util::FaultInjector::instance();
+    const int connections = 4;
+    std::printf("\nfault mode (%d self-healing connections x %lld req, seeded specs):\n",
+                connections, static_cast<long long>(closed_requests));
+    std::printf("%-14s %9s %8s %12s %6s %7s %6s %7s %10s\n", "scenario", "RPS", "goodput",
+                "expired_frac", "ok", "expired", "failed", "retries", "reconnects");
+    {
+      // Torn reads + chunked sends + connections killed mid-request: the
+      // retrying client must heal every request (no deadlines to expire).
+      injector.set_seed(4242);
+      injector.arm_spec("net.read_short:p=0.2;socket.send_chunk:p=0.05;net.exec.kill_conn:p=0.1");
+      const ChaosResult r =
+          run_chaos(host, port, model, sample, expected, connections, closed_requests, 0);
+      injector.disarm_all();
+      emit_chaos("fault/chaos", "fault/chaos", r);
+    }
+    {
+      // An injected executor delay longer than the per-request deadline
+      // budget: delayed requests MUST expire, the rest must complete.
+      injector.set_seed(4242);
+      injector.arm_spec("net.exec.delay:p=0.3,latency_ms=120");
+      const ChaosResult r =
+          run_chaos(host, port, model, sample, expected, connections, closed_requests, 80);
+      injector.disarm_all();
+      emit_chaos("fault/deadline", "fault/deadline", r);
+    }
+  } else {
+    std::printf("\nclosed loop (%lld req/connection):\n",
+                static_cast<long long>(closed_requests));
+    std::printf("%-14s %9s %8s %9s %9s %6s\n", "shape", "RPS", "scaling", "p50 ms", "p99 ms",
+                "shed");
+    double c1_rps = 0;
+    for (const int connections : {1, 2, 4, 8}) {
+      const RunResult r = run_closed(host, port, model, sample, connections, closed_requests);
+      if (connections == 1) c1_rps = r.rps;
+      const std::string label = "closed/c" + std::to_string(connections);
+      emit(label.c_str(), "net/" + label, r, c1_rps > 0 ? r.rps / c1_rps : -1);
+    }
 
-  // Open-loop rate: default to ~60% of the single-connection closed-loop
-  // service rate — busy but below saturation, so the CO-free latency numbers
-  // describe queueing jitter rather than a divergent backlog.
-  const double rate = rate_arg > 0 ? rate_arg : std::max(50.0, 0.6 * c1_rps);
-  std::printf("\nopen loop (%zu requests at %.0f req/s average, latency from scheduled "
-              "arrival):\n",
-              open_requests, rate);
-  std::printf("%-14s %9s %8s %9s %9s %6s\n", "shape", "RPS", "scaling", "p50 ms", "p99 ms",
-              "shed");
-  emit("open/poisson", "net/open/poisson",
-       run_open(host, port, model, sample, poisson_schedule(open_requests, rate, 42)), -1);
-  emit("open/bursty", "net/open/bursty",
-       run_open(host, port, model, sample, bursty_schedule(open_requests, rate, burst)), -1);
+    // Open-loop rate: default to ~60% of the single-connection closed-loop
+    // service rate — busy but below saturation, so the CO-free latency numbers
+    // describe queueing jitter rather than a divergent backlog.
+    const double rate = rate_arg > 0 ? rate_arg : std::max(50.0, 0.6 * c1_rps);
+    std::printf("\nopen loop (%zu requests at %.0f req/s average, latency from scheduled "
+                "arrival):\n",
+                open_requests, rate);
+    std::printf("%-14s %9s %8s %9s %9s %6s\n", "shape", "RPS", "scaling", "p50 ms", "p99 ms",
+                "shed");
+    emit("open/poisson", "net/open/poisson",
+         run_open(host, port, model, sample, poisson_schedule(open_requests, rate, 42)), -1);
+    emit("open/bursty", "net/open/bursty",
+         run_open(host, port, model, sample, bursty_schedule(open_requests, rate, burst)), -1);
+  }
 
   if (net) {
     net->stop();

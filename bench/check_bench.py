@@ -17,12 +17,18 @@ only fires at 0.5x (measured smoke-vs-full drift on a native build stays
 within 0.7-1.5x).
 
 Per-row gate floors and ceilings: a reference row may carry a ``"gate"``
-object with ``min_speedup`` and/or ``min_gb_per_s`` — ABSOLUTE floors the
-current run must clear on top of the ratio check — and/or ``max_p99_ms`` /
-``max_shed`` — ABSOLUTE ceilings (the SLO rows use these: an adaptive
+object whose keys are ``min_<field>`` (ABSOLUTE floor on top of the ratio
+check) or ``max_<field>`` (ABSOLUTE ceiling) for ANY numeric field of the
+row — ``min_speedup``, ``min_gb_per_s``, ``max_p99_ms``, ``max_shed``,
+``min_goodput``, ``max_expired_frac``, and whatever future benches record.
+A gate key that matches neither pattern fails the gate outright (a typo'd
+bound must never silently pass). The SLO rows use ceilings (an adaptive
 scheduler whose open-loop p99 blows through its ceiling, or whose
 high-priority class starts shedding, is a regression even if every ratio
-still looks fine). The quantized CAM rows use this: their
+still looks fine); the ``fault/`` chaos rows of BENCH_net.json use a
+``min_goodput`` floor (the self-healing client must keep completing
+requests under injected faults) and a ``max_expired_frac`` ceiling
+(deadline expiries must stay bounded). The quantized CAM rows use this: their
 speedup is measured against the blocked float kernel in the same process
 (int8/binary must stay genuinely faster than float, not just "not slower
 than last time"), and their GB/s floor catches a quantized path that fell
@@ -113,40 +119,25 @@ def check_row(name, ref_row, cur_row, min_ratio, failures):
                            f"{cur_speedup:.2f} (ratio {ratio:.2f})"))
             verdict = "FAIL"
 
-    min_speedup = gate.get("min_speedup")
-    if min_speedup is not None:
-        cur_speedup = cur_row.get("speedup")
-        if cur_speedup is None or cur_speedup < min_speedup:
+    # Generic bounds: every gate key is min_<field> (floor) or max_<field>
+    # (ceiling) over the row's field of that name. The legacy keys
+    # (min_speedup, min_gb_per_s, max_p99_ms, max_shed) are just instances.
+    for key in sorted(gate):
+        bound = gate[key]
+        if key.startswith("min_"):
+            field, is_ceiling = key[4:], False
+        elif key.startswith("max_"):
+            field, is_ceiling = key[4:], True
+        else:
             failures.append(
-                RowFailure(name, "speedup", f">= {min_speedup}",
-                           "MISSING" if cur_speedup is None else f"{cur_speedup:.2f}"))
+                RowFailure(name, key, "gate key must be min_*/max_*", "UNKNOWN KEY"))
             verdict = "FAIL"
-
-    min_gb = gate.get("min_gb_per_s")
-    if min_gb is not None:
-        cur_gb = cur_row.get("gb_per_s")
-        if cur_gb is None or cur_gb < min_gb:
+            continue
+        cur = cur_row.get(field)
+        if cur is None or (cur > bound if is_ceiling else cur < bound):
             failures.append(
-                RowFailure(name, "gb_per_s", f">= {min_gb}",
-                           "MISSING" if cur_gb is None else f"{cur_gb:.2f}"))
-            verdict = "FAIL"
-
-    max_p99 = gate.get("max_p99_ms")
-    if max_p99 is not None:
-        cur_p99 = cur_row.get("p99_ms")
-        if cur_p99 is None or cur_p99 > max_p99:
-            failures.append(
-                RowFailure(name, "p99_ms", f"<= {max_p99}",
-                           "MISSING" if cur_p99 is None else f"{cur_p99:.2f}"))
-            verdict = "FAIL"
-
-    max_shed = gate.get("max_shed")
-    if max_shed is not None:
-        cur_shed = cur_row.get("shed")
-        if cur_shed is None or cur_shed > max_shed:
-            failures.append(
-                RowFailure(name, "shed", f"<= {max_shed}",
-                           "MISSING" if cur_shed is None else f"{cur_shed}"))
+                RowFailure(name, field, f"{'<=' if is_ceiling else '>='} {bound}",
+                           "MISSING" if cur is None else f"{cur:.4g}"))
             verdict = "FAIL"
 
     return verdict
@@ -172,6 +163,15 @@ def selftest():
          {"speedup": 1.3, "p99_ms": 30.0}, 0),
         ("combined trips both", {"gate": {"min_speedup": 1.0, "max_p99_ms": 50.0}},
          {"speedup": 0.5, "p99_ms": 90.0}, 2),
+        # Generic min_/max_ bounds on arbitrary fields (the fault/ rows).
+        ("min_goodput pass", {"gate": {"min_goodput": 0.9}}, {"goodput": 0.98}, 0),
+        ("min_goodput trip", {"gate": {"min_goodput": 0.9}}, {"goodput": 0.6}, 1),
+        ("min_goodput missing trips", {"gate": {"min_goodput": 0.9}}, {}, 1),
+        ("max_expired_frac pass", {"gate": {"max_expired_frac": 0.5}},
+         {"expired_frac": 0.2}, 0),
+        ("max_expired_frac trip", {"gate": {"max_expired_frac": 0.5}},
+         {"expired_frac": 0.8}, 1),
+        ("unknown gate key trips", {"gate": {"goodput_min": 0.9}}, {"goodput": 1.0}, 1),
     ]
     bad = 0
     for description, ref_row, cur_row, expected in cases:

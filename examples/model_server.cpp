@@ -43,6 +43,7 @@
 #include "runtime/server.hpp"
 #include "tensor/rng.hpp"
 #include "util/cli.hpp"
+#include "util/fault_injector.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -145,8 +146,18 @@ int main(int argc, char** argv) {
   // CAM operating point of the CAM-exported deploy (float32 | int8 | binary).
   const cam::CamPrecision cam_precision =
       cam::precision_from_name(args.get("cam-precision", "float32"));
+  // Chaos knobs (docs/FAULTS.md): arm fault-injection sites for resilience
+  // drills, e.g. --fault-spec 'net.read_short:p=0.05;engine.stall:p=0.01,latency_ms=20'
+  const std::string fault_spec = args.get("fault-spec", "");
+  const std::int64_t fault_seed = args.get_int("fault-seed", 42);
   util::set_global_threads(threads);
   install_signal_handlers();
+  if (!fault_spec.empty()) {
+    util::FaultInjector::instance().set_seed(static_cast<std::uint64_t>(fault_seed));
+    util::FaultInjector::instance().arm_spec(fault_spec);
+    std::printf("fault injection armed: %s (seed %lld)\n", fault_spec.c_str(),
+                static_cast<long long>(fault_seed));
+  }
 
   if (!listen) {
     std::printf("model_server demo: %d clients/model x %lld requests, %d kernel threads\n",

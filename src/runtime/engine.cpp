@@ -6,6 +6,7 @@
 
 #include "models/variant.hpp"
 #include "nn/residual.hpp"
+#include "util/fault_injector.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pecan::runtime {
@@ -361,7 +362,8 @@ void Engine::ensure_batcher() {
   batcher_ = std::thread([this] { batcher_loop(); });
 }
 
-std::future<Tensor> Engine::submit(Tensor sample, std::int64_t priority) {
+std::future<Tensor> Engine::submit(Tensor sample, std::int64_t priority,
+                                   std::chrono::steady_clock::time_point deadline) {
   if (sample.ndim() != 3) {
     throw std::invalid_argument("Engine::submit: expected a [C,H,W] sample, got " +
                                 shape_str(sample.shape()));
@@ -380,6 +382,35 @@ std::future<Tensor> Engine::submit(Tensor sample, std::int64_t priority) {
   }
   const std::size_t cls = static_cast<std::size_t>(
       std::clamp<std::int64_t>(priority, 0, config_.priority_classes - 1));
+  // Admission-time deadline check: shedding here costs a few loads; shedding
+  // at batch formation costs a queue slot and a wasted wakeup. An EWMA of
+  // per-sample service time times the current depth predicts the wait this
+  // sample faces — if that already exceeds the remaining budget, the request
+  // is dead on arrival and fails now, before it can displace live traffic.
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    const auto now = std::chrono::steady_clock::now();
+    bool doomed = now >= deadline;
+    if (!doomed) {
+      const double ewma = ewma_shared_ms_.load(std::memory_order_relaxed);
+      if (ewma > 0.0) {
+        const double predicted_wait_ms =
+            static_cast<double>(queue_.size() + 1) * ewma;
+        const double remaining_ms =
+            std::chrono::duration<double, std::milli>(deadline - now).count();
+        doomed = predicted_wait_ms > remaining_ms;
+      }
+    }
+    if (doomed) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.expired;
+        ++stats_.classes[cls].expired;
+      }
+      throw DeadlineExceededError(
+          "Engine::submit: deadline lapsed (or predicted queue wait exceeds the "
+          "remaining budget) — shed at admission");
+    }
+  }
   {
     // stopping_ check + batcher start are atomic: shutdown() sets stopping_
     // and claims the thread handle under the same mutex, so it can never
@@ -388,10 +419,15 @@ std::future<Tensor> Engine::submit(Tensor sample, std::int64_t priority) {
     if (stopping_) throw EngineStoppedError("Engine::submit: engine is shut down");
     ensure_batcher();
   }
+  if (PECAN_FAULT_POINT("queue.delay")) {
+    // Armed with latency_ms, this stalls the submitter between admission and
+    // enqueue — the window where a deadline can lapse while "in the system".
+  }
   Pending pending;
   pending.sample = std::move(sample);
   pending.priority = cls;
   pending.enqueued_at = std::chrono::steady_clock::now();
+  pending.deadline = deadline;
   std::future<Tensor> future = pending.promise.get_future();
   // Reject mode sheds the lowest class first: a full queue evicts the newest
   // queued sample of a class strictly below ours (we fail its promise below,
@@ -451,11 +487,37 @@ void Engine::batcher_loop() {
           return first.sample.shape() == candidate.sample.shape();
         });
     if (popped == 0) return;
+    // Lazy expiry sweep at batch formation: samples whose deadline lapsed
+    // while queued fail their futures right here — they never reach
+    // execute_pending, so a dead request costs no InferContext lease and no
+    // kernel time. Live samples keep their pop order.
+    std::size_t live = 0;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].deadline <= now) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+          ++stats_.expired;
+          ++stats_.classes[batch[i].priority].expired;
+        }
+        batch[i].promise.set_exception(std::make_exception_ptr(DeadlineExceededError(
+            "Engine: deadline lapsed in the pending queue — expired at batch formation")));
+      } else {
+        if (live != i) batch[live] = std::move(batch[i]);
+        ++live;
+      }
+    }
+    batch.resize(live);
+    if (batch.empty()) continue;
     execute_pending(batch);
   }
 }
 
 void Engine::execute_pending(std::vector<Pending>& batch) {
+  // Fault site: armed with latency_ms, the batcher wedges here before
+  // executing — queued deadlines lapse and the expiry sweep has work to do.
+  if (PECAN_FAULT_POINT("engine.stall")) {
+  }
   const std::int64_t b = static_cast<std::int64_t>(batch.size());
   const auto exec_start = std::chrono::steady_clock::now();
   try {
@@ -561,6 +623,9 @@ void Engine::update_controller(double batch_ms, std::int64_t batch_size) {
   const double per_sample = batch_ms / static_cast<double>(std::max<std::int64_t>(batch_size, 1));
   ewma_sample_ms_ =
       ewma_sample_ms_ == 0.0 ? per_sample : 0.8 * ewma_sample_ms_ + 0.2 * per_sample;
+  // Mirror for submit()'s admission-time deadline prediction (relaxed: a
+  // stale estimate only shifts where a doomed request sheds).
+  ewma_shared_ms_.store(ewma_sample_ms_, std::memory_order_relaxed);
   if (config_.slo_target_ms <= 0.0) return;
 
   double p99;

@@ -92,6 +92,15 @@ struct EngineStoppedError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A request's deadline lapsed before a result was ready. Raised at
+/// admission (predicted queue wait exceeds the remaining budget — a cheap
+/// early shed) or delivered through the future when the batcher's expiry
+/// sweep drops an already-dead sample at batch formation. Distinct from
+/// OverloadedError: the queue may be fine — THIS request is out of time.
+struct DeadlineExceededError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct EngineConfig {
   ExecPath path = ExecPath::Float;
   std::int64_t max_batch = 8;                       ///< micro-batch size cap
@@ -183,6 +192,7 @@ struct EngineConfig {
 struct EngineClassStats {
   std::uint64_t requests = 0;  ///< samples accepted at this class
   std::uint64_t shed = 0;      ///< samples shed FROM this class (rejects + evictions)
+  std::uint64_t expired = 0;   ///< samples of this class whose deadline lapsed
   std::int64_t depth = 0;      ///< samples of this class pending at snapshot time
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -202,6 +212,8 @@ struct EngineStats {
                                       ///< wait + coalesce + execute)
   std::uint64_t shed = 0;             ///< submits shed by admission control
                                       ///< (rejections + lowest-class evictions)
+  std::uint64_t expired = 0;          ///< submits that failed with DeadlineExceededError
+                                      ///< (admission-time sheds + batch-formation sweeps)
   std::int64_t queue_depth = 0;       ///< samples pending at snapshot time
   std::int64_t in_flight = 0;         ///< executions in flight at snapshot time (shards count)
   std::int64_t peak_in_flight = 0;    ///< max concurrent executions observed
@@ -263,7 +275,17 @@ class Engine {
   /// fails with OverloadedError) to admit this one; if this sample is itself
   /// lowest, submit() throws OverloadedError without queuing. Every accepted
   /// sample is always answered, even across shutdown.
-  std::future<Tensor> submit(Tensor sample, std::int64_t priority = 0);
+  ///
+  /// `deadline` (absolute; time_point::max() = none) is enforced twice here:
+  /// at admission — an already-lapsed deadline, or an EWMA-predicted queue
+  /// wait exceeding the remaining budget, throws DeadlineExceededError
+  /// before the sample ever queues — and at batch formation, where the
+  /// batcher's lazy expiry sweep fails dead samples' futures with
+  /// DeadlineExceededError without leasing them an InferContext. Expired
+  /// samples count into EngineStats::expired (never into shed).
+  std::future<Tensor> submit(Tensor sample, std::int64_t priority = 0,
+                             std::chrono::steady_clock::time_point deadline =
+                                 std::chrono::steady_clock::time_point::max());
 
   /// Drains pending requests, answers them, and stops the batcher thread.
   /// Idempotent and safe to race with submit(): a concurrent submit()
@@ -299,6 +321,10 @@ class Engine {
     /// submit() timestamp: end-to-end latency (queue wait + coalesce +
     /// execute) is measured from here to promise resolution.
     std::chrono::steady_clock::time_point enqueued_at{};
+    /// Absolute deadline; max() = none. Checked by the batcher's lazy
+    /// expiry sweep at batch formation.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   /// RAII lease of one InferContext from the engine's free-list; also
@@ -411,6 +437,11 @@ class Engine {
   std::atomic<std::int64_t> eff_wait_us_;
   std::atomic<std::int64_t> depth_cap_{0};
   double ewma_sample_ms_ = 0.0;  ///< batcher-thread-only EWMA of per-sample service time
+  /// Mirror of ewma_sample_ms_ for admission-time deadline prediction:
+  /// submit() multiplies it by the queue depth to estimate the wait a new
+  /// sample faces. Relaxed — a slightly stale estimate only moves WHERE a
+  /// doomed request is shed, never correctness.
+  std::atomic<double> ewma_shared_ms_{0.0};
 
   mutable std::mutex stats_mutex_;
   EngineStats stats_;

@@ -10,6 +10,7 @@
 #include "models/vgg_small.hpp"
 #include "nn/residual.hpp"
 #include "tensor/rng.hpp"
+#include "util/fault_injector.hpp"
 
 namespace pecan::runtime {
 
@@ -106,6 +107,13 @@ void save_artifact(const std::string& path, const ModelArtifact& artifact) {
 }
 
 ModelArtifact load_artifact(const std::string& path) {
+  // Fault site: simulates an artifact whose integrity check failed, without
+  // needing a damaged file on disk. Deploy paths must leave the registry
+  // untouched either way.
+  if (PECAN_FAULT_POINT("artifact.corrupt")) {
+    throw ArtifactCorruptError("load_artifact: " + path +
+                               ": fault injection (artifact.corrupt armed)");
+  }
   TensorFile file = load_tensor_file(path);
   const std::string format = require_meta(file.meta, kFormatKey, path);
   if (format != kFormatValue) {

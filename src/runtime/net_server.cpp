@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "runtime/model_registry.hpp"
+#include "tensor/serialize.hpp"
+#include "util/fault_injector.hpp"
 #include "util/timer.hpp"
 
 #if defined(__linux__)
@@ -56,6 +58,11 @@ struct NetServer::Job {
   Tensor tensor;     ///< INFER / INFER_BATCH payload
   std::string text;  ///< DEPLOY artifact path
   std::uint8_t priority = 0;  ///< wire priority byte (0 when absent)
+  /// Absolute deadline, anchored at frame receipt from the wire's relative
+  /// deadline_ms; max() = none. Enforced before execution and (for INFER)
+  /// forwarded into the engine's admission + expiry sweep.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Readiness-notification backend: epoll where available, poll() otherwise.
@@ -209,7 +216,12 @@ void NetServer::stop() {
 
 NetServerStats NetServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  NetServerStats out = stats_;
+  // Live gauge, not a counter: 0 once every dispatched job posted its reply.
+  // Tests assert it returns to 0 after connection deaths — a leaked slot
+  // (executor stuck, ledger not decremented) shows up here.
+  out.jobs_in_flight = in_flight_.load(std::memory_order_acquire);
+  return out;
 }
 
 // ------------------------------------------------------------------- reactor
@@ -332,7 +344,11 @@ void NetServer::close_conn(const std::shared_ptr<Conn>& conn) {
 void NetServer::handle_readable(const std::shared_ptr<Conn>& conn) {
   std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    // Fault site: cap the recv BEFORE the syscall so frames arrive torn into
+    // tiny pieces — the Decoder must reassemble them byte by byte. Capping
+    // (rather than discarding) never loses stream bytes.
+    const std::size_t want = PECAN_FAULT_POINT("net.read_short") ? 1 : sizeof(buf);
+    const ssize_t n = ::recv(conn->fd.get(), buf, want, 0);
     if (n == 0) {  // peer closed
       close_conn(conn);
       return;
@@ -375,7 +391,7 @@ void NetServer::handle_readable(const std::shared_ptr<Conn>& conn) {
       post_reply(conn, std::move(reply), wire::Status::BadFrame);
       return;
     }
-    if (n < static_cast<ssize_t>(sizeof(buf))) return;  // socket drained
+    if (n < static_cast<ssize_t>(want)) return;  // socket drained
   }
 }
 
@@ -417,6 +433,7 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
                            ",\"cam_precision\":\"" + cam::precision_name(s.cam_precision) +
                            "\",\"requests\":" + std::to_string(s.engine.requests) +
                            ",\"batches\":" + std::to_string(s.engine.batches) +
+                           ",\"expired\":" + std::to_string(s.engine.expired) +
                            ",\"queue_depth\":" + std::to_string(s.engine.queue_depth) +
                            ",\"in_flight\":" + std::to_string(s.engine.in_flight) +
                            ",\"p50_ms\":" + ms(s.engine.p50_ms) +
@@ -438,6 +455,7 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
           if (c > 0) json += ',';
           json += "{\"requests\":" + std::to_string(cls.requests) +
                   ",\"shed\":" + std::to_string(cls.shed) +
+                  ",\"expired\":" + std::to_string(cls.expired) +
                   ",\"depth\":" + std::to_string(cls.depth) +
                   ",\"p50_ms\":" + ms(cls.p50_ms) + ",\"p99_ms\":" + ms(cls.p99_ms) + "}";
         }
@@ -473,8 +491,15 @@ bool NetServer::handle_frame(const std::shared_ptr<Conn>& conn, const wire::Fram
         // Zero-copy hand-off: floats go from the connection buffer straight
         // into the engine-ready sample/batch tensor. The optional trailing
         // priority byte (absent = class 0, the pre-priority wire format)
-        // orders the job queue and, for INFER, the engine's admission.
-        job.tensor = wire::decode_tensor_request(frame.payload, frame.payload_len, job.priority);
+        // orders the job queue and, for INFER, the engine's admission. An
+        // optional relative deadline_ms is anchored HERE, at frame receipt —
+        // queue time, batch wait, and execution all burn the same budget.
+        std::uint32_t deadline_ms = 0;
+        job.tensor =
+            wire::decode_tensor_request(frame.payload, frame.payload_len, job.priority, deadline_ms);
+        if (deadline_ms != 0) {
+          job.deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+        }
       } catch (const std::invalid_argument& e) {
         wire::encode_frame(reply, frame.opcode, wire::Status::BadRequest, frame.request_id,
                            frame.model, std::string_view(e.what()));
@@ -533,13 +558,29 @@ void NetServer::executor_loop() {
 }
 
 void NetServer::execute(Job& job) {
+  // Fault sites: delay a job inside the executor (burning its deadline
+  // budget), or kill its connection mid-request. shutdown() — not close() —
+  // so the reactor observes the death through its normal HUP/error path and
+  // owns the actual teardown; the executor never touches reactor state.
+  if (PECAN_FAULT_POINT("net.exec.delay")) {
+  }
+  if (PECAN_FAULT_POINT("net.exec.kill_conn")) {
+    ::shutdown(job.conn->fd.get(), SHUT_RDWR);
+  }
   std::vector<std::uint8_t> reply;
   wire::Status status = wire::Status::Ok;
   std::string message;
   try {
+    // A deadline that lapsed while the job sat in the executor queue fails
+    // fast — no engine submit, no forward, just the honest wire status.
+    if (std::chrono::steady_clock::now() >= job.deadline) {
+      throw DeadlineExceededError(
+          "NetServer: deadline lapsed before execution — expired in the executor queue");
+    }
     switch (job.opcode) {
       case wire::Opcode::Infer: {
-        Tensor logits = server_.submit(job.model, std::move(job.tensor), job.priority).get();
+        Tensor logits =
+            server_.submit(job.model, std::move(job.tensor), job.priority, job.deadline).get();
         wire::encode_tensor_frame(reply, job.opcode, wire::Status::Ok, job.request_id, job.model,
                                   logits);
         break;
@@ -562,8 +603,16 @@ void NetServer::execute(Job& job) {
         message = "executor received non-work opcode";
         break;
     }
+  } catch (const DeadlineExceededError& e) {
+    status = wire::Status::DeadlineExceeded;
+    message = e.what();
   } catch (const OverloadedError& e) {
     status = wire::Status::Overloaded;
+    message = e.what();
+  } catch (const ArtifactCorruptError& e) {
+    // A corrupt artifact is the deployer's bad input, not a server fault;
+    // the registry is untouched (deploy_file throws before install).
+    status = wire::Status::BadRequest;
     message = e.what();
   } catch (const EngineStoppedError& e) {
     status = wire::Status::EngineStopped;
@@ -596,6 +645,7 @@ void NetServer::post_reply(const std::shared_ptr<Conn>& conn, std::vector<std::u
     } else {
       ++stats_.replies_error;
       if (status == wire::Status::Overloaded) ++stats_.sheds;
+      if (status == wire::Status::DeadlineExceeded) ++stats_.deadline_expired;
     }
   }
   if (conn->closed.load(std::memory_order_acquire)) return;  // peer already gone

@@ -93,9 +93,11 @@ struct NetServerStats {
   std::uint64_t replies_ok = 0;      ///< replies sent with Status::Ok
   std::uint64_t replies_error = 0;   ///< replies sent with any error status
   std::uint64_t sheds = 0;           ///< OVERLOADED replies (admission control)
+  std::uint64_t deadline_expired = 0;  ///< DEADLINE_EXCEEDED replies
   std::uint64_t decode_errors = 0;   ///< BAD_FRAME replies (connection closed)
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  std::int64_t jobs_in_flight = 0;   ///< dispatched jobs without a posted reply (gauge)
 };
 
 class NetServer {

@@ -53,10 +53,11 @@ void Server::undeploy(const std::string& name) {
 }
 
 std::future<Tensor> Server::submit(const std::string& name, Tensor sample,
-                                   std::int64_t priority) {
+                                   std::int64_t priority,
+                                   std::chrono::steady_clock::time_point deadline) {
   std::shared_ptr<Engine> engine = registry_.acquire(name);
   try {
-    return engine->submit(std::move(sample), priority);
+    return engine->submit(std::move(sample), priority, deadline);
   } catch (const OverloadedError&) {
     counters(name).shed.fetch_add(1, std::memory_order_relaxed);
     throw;

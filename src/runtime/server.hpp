@@ -40,6 +40,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -106,10 +107,14 @@ class Server {
   /// Routes one sample to the engine serving `name` at the given priority
   /// class (0 = default/lowest; clamped to the engine's priority_classes).
   /// Throws UnknownModelError (not deployed), std::invalid_argument (bad
-  /// sample), or OverloadedError (Reject-mode admission shed — counted in
+  /// sample), OverloadedError (Reject-mode admission shed — counted in
   /// stats; under priority-aware shedding an evicted LOWER-class request's
-  /// future fails instead of this call throwing).
-  std::future<Tensor> submit(const std::string& name, Tensor sample, std::int64_t priority = 0);
+  /// future fails instead of this call throwing), or DeadlineExceededError
+  /// (deadline already dead on arrival — see Engine::submit; the future can
+  /// also fail with it when the deadline lapses in the queue).
+  std::future<Tensor> submit(const std::string& name, Tensor sample, std::int64_t priority = 0,
+                             std::chrono::steady_clock::time_point deadline =
+                                 std::chrono::steady_clock::time_point::max());
 
   /// Routes a synchronous batch to the engine serving `name`. Batches
   /// larger than the engine's shard_samples execute as concurrent sample

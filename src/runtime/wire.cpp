@@ -45,6 +45,7 @@ const char* status_name(Status status) {
     case Status::BadRequest: return "BAD_REQUEST";
     case Status::BadFrame: return "BAD_FRAME";
     case Status::InternalError: return "INTERNAL_ERROR";
+    case Status::DeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -81,15 +82,17 @@ std::size_t tensor_payload_bytes(const Tensor& t) {
 
 void encode_tensor_frame(std::vector<std::uint8_t>& out, Opcode op, Status status,
                          std::uint64_t request_id, std::string_view model, const Tensor& t,
-                         std::uint8_t priority) {
+                         std::uint8_t priority, std::uint32_t deadline_ms) {
   if (static_cast<std::size_t>(t.ndim()) > kMaxTensorDims) {
     throw std::invalid_argument("wire::encode_tensor_frame: tensor has " +
                                 std::to_string(t.ndim()) + " dims, max " +
                                 std::to_string(kMaxTensorDims));
   }
-  // Priority 0 omits the trailing byte entirely: the default class stays
-  // byte-identical to the pre-priority wire format.
-  const std::size_t payload_len = tensor_payload_bytes(t) + (priority != 0 ? 1 : 0);
+  // Priority 0 with no deadline omits the tail entirely: the default class
+  // stays byte-identical to the pre-priority wire format. A deadline needs
+  // the 5-byte tail (the priority byte positions the u32).
+  const std::size_t tail = deadline_ms != 0 ? 5 : (priority != 0 ? 1 : 0);
+  const std::size_t payload_len = tensor_payload_bytes(t) + tail;
   // Header first (with the final payload length), then the tensor fields
   // straight into the frame buffer.
   encode_frame(out, op, status, request_id, model, nullptr, 0);
@@ -102,7 +105,12 @@ void encode_tensor_frame(std::vector<std::uint8_t>& out, Opcode op, Status statu
   for (std::int64_t i = 0; i < t.ndim(); ++i) append<std::int64_t>(out, t.dim(i));
   const auto* data = reinterpret_cast<const std::uint8_t*>(t.data());
   out.insert(out.end(), data, data + sizeof(float) * static_cast<std::size_t>(t.numel()));
-  if (priority != 0) out.push_back(priority);
+  if (deadline_ms != 0) {
+    out.push_back(priority);
+    append<std::uint32_t>(out, deadline_ms);
+  } else if (priority != 0) {
+    out.push_back(priority);
+  }
 }
 
 Tensor decode_tensor(const std::uint8_t* payload, std::size_t len) {
@@ -143,13 +151,14 @@ Tensor decode_tensor(const std::uint8_t* payload, std::size_t len) {
 }
 
 Tensor decode_tensor_request(const std::uint8_t* payload, std::size_t len,
-                             std::uint8_t& priority) {
+                             std::uint8_t& priority, std::uint32_t& deadline_ms) {
   priority = 0;
-  // Size the tensor body from its own ndim/dims fields so the one legal
-  // trailing byte is unambiguous: exactly tensor → class 0 (every
-  // pre-priority frame), tensor + 1 → that byte is the class. decode_tensor
-  // re-validates the sliced body in full, so anything else still fails with
-  // its precise diagnostics.
+  deadline_ms = 0;
+  // Size the tensor body from its own ndim/dims fields so the legal trailing
+  // tails are unambiguous: exactly tensor → class 0, no deadline (every
+  // pre-priority frame); tensor + 1 → that byte is the class; tensor + 5 →
+  // class byte then u32 deadline_ms. decode_tensor re-validates the sliced
+  // body in full, so anything else still fails with its precise diagnostics.
   if (len >= 4) {
     const std::uint32_t ndim = load<std::uint32_t>(payload);
     if (ndim >= 1 && ndim <= kMaxTensorDims && len >= 4 + sizeof(std::int64_t) * ndim) {
@@ -165,6 +174,10 @@ Tensor decode_tensor_request(const std::uint8_t* payload, std::size_t len,
                                sizeof(float) * static_cast<std::size_t>(numel);
       if (dims_ok && len == body + 1) {
         priority = payload[body];
+        len = body;
+      } else if (dims_ok && len == body + 5) {
+        priority = payload[body];
+        deadline_ms = load<std::uint32_t>(payload + body + 1);
         len = body;
       }
     }

@@ -23,11 +23,17 @@
 // Payloads:
 //   Infer        request: tensor ([C,H,W] sample)   reply: tensor ([classes])
 //   InferBatch   request: tensor ([N,C,H,W] batch)  reply: tensor ([N,classes])
-//     Infer/InferBatch requests may carry ONE optional trailing byte after
-//     the tensor payload: the priority class (0 = default/lowest, higher =
-//     more urgent). An absent byte means class 0, so v1 frames from old
-//     clients decode unchanged — and a new client sending priority 0 emits
-//     frames byte-identical to an old one. Replies never carry the byte.
+//     Infer/InferBatch requests may carry an optional trailing tail after
+//     the tensor payload, self-sized by the payload length:
+//       tensor               priority 0, no deadline (every pre-priority frame)
+//       tensor + 1 byte      u8 priority class (0 = default/lowest)
+//       tensor + 5 bytes     u8 priority class, then u32 deadline_ms — a
+//                            RELATIVE millisecond budget measured from frame
+//                            receipt (0 never appears on the wire; 0 in the
+//                            API means "no deadline")
+//     A priority-0, no-deadline request emits the bare tensor, so default
+//     traffic is byte-identical to old clients in both directions. Replies
+//     never carry the tail.
 //   Ping         empty both ways (reply echoes request_id — liveness probe)
 //   Stats        request: empty                     reply: compact JSON text
 //   ListModels   request: empty                     reply: newline-joined names
@@ -98,6 +104,7 @@ enum class Status : std::uint16_t {
   BadRequest = 4,     ///< well-framed but semantically invalid (shape, payload)
   BadFrame = 5,       ///< unparseable stream — replied once, then connection closes
   InternalError = 6,  ///< unexpected server-side failure
+  DeadlineExceeded = 7,  ///< the request's deadline lapsed before a result was ready
 };
 
 const char* opcode_name(Opcode op);
@@ -134,12 +141,14 @@ inline void encode_frame(std::vector<std::uint8_t>& out, Opcode op, Status statu
 
 /// Appends a frame whose payload is the wire encoding of `t`, written
 /// directly into `out` (no intermediate payload buffer). A nonzero
-/// `priority` appends the optional trailing priority byte (Infer/InferBatch
-/// requests only); priority 0 emits the byte-free v1 frame, so default-class
-/// traffic is byte-identical to pre-priority clients.
+/// `deadline_ms` appends the 5-byte priority+deadline tail; otherwise a
+/// nonzero `priority` appends the 1-byte priority tail (Infer/InferBatch
+/// requests only). Priority 0 with no deadline emits the tail-free v1
+/// frame, so default-class traffic is byte-identical to old clients.
+/// `deadline_ms` is relative: the receiver anchors it at frame receipt.
 void encode_tensor_frame(std::vector<std::uint8_t>& out, Opcode op, Status status,
                          std::uint64_t request_id, std::string_view model, const Tensor& t,
-                         std::uint8_t priority = 0);
+                         std::uint8_t priority = 0, std::uint32_t deadline_ms = 0);
 
 std::size_t tensor_payload_bytes(const Tensor& t);
 
@@ -149,11 +158,18 @@ std::size_t tensor_payload_bytes(const Tensor& t);
 Tensor decode_tensor(const std::uint8_t* payload, std::size_t len);
 
 /// Decodes an Infer/InferBatch REQUEST payload: the tensor plus the optional
-/// trailing priority byte. `priority` is set to the byte when present and 0
-/// when absent (default class — every pre-priority frame). Any other length
-/// mismatch throws std::invalid_argument like decode_tensor.
+/// trailing tail. `priority` is set to the tail byte when present and 0 when
+/// absent; `deadline_ms` to the tail's u32 when the 5-byte tail is present
+/// and 0 (= no deadline) otherwise. Any other length mismatch throws
+/// std::invalid_argument like decode_tensor.
 Tensor decode_tensor_request(const std::uint8_t* payload, std::size_t len,
-                             std::uint8_t& priority);
+                             std::uint8_t& priority, std::uint32_t& deadline_ms);
+
+inline Tensor decode_tensor_request(const std::uint8_t* payload, std::size_t len,
+                                    std::uint8_t& priority) {
+  std::uint32_t deadline_ms = 0;
+  return decode_tensor_request(payload, len, priority, deadline_ms);
+}
 
 // --- Decoding ---------------------------------------------------------------
 
@@ -180,6 +196,16 @@ class Decoder {
   std::uint64_t error_request_id() const { return error_request_id_; }
   /// Bytes buffered but not yet consumed (diagnostics).
   std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Drops all buffered bytes and clears any poison — for reuse on a FRESH
+  /// connection (NetClient reconnect). Never call mid-stream.
+  void reset() {
+    buf_.clear();
+    pos_ = frame_end_ = 0;
+    poisoned_ = false;
+    error_.clear();
+    error_request_id_ = 0;
+  }
 
  private:
   const std::size_t max_frame_bytes_;

@@ -1,10 +1,13 @@
 #include "tensor/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
+
+#include "util/crc32.hpp"
 
 namespace pecan {
 
@@ -12,6 +15,10 @@ namespace {
 constexpr char kMagic[4] = {'P', 'C', 'A', 'N'};
 constexpr std::uint32_t kVersionLegacy = 1;  ///< no metadata block
 constexpr std::uint32_t kVersion = 2;        ///< adds the metadata block
+/// Integrity-trailer tag: the bytes "2CRC" read as a little-endian u32.
+/// Follows the last tensor, so readers that stop at tensor_count never see
+/// it — CRC-less v2 files and v1 files both keep loading.
+constexpr std::uint32_t kCrcTag = 0x43524332u;
 
 // Structural bounds: far above anything legitimate, low enough that a
 // corrupted length field fails fast instead of attempting a huge allocation
@@ -49,6 +56,34 @@ std::string read_string(std::ifstream& in, const std::string& path, const char* 
   if (!in) throw std::runtime_error("load_tensors: " + path + ": truncated at " + field);
   return s;
 }
+
+/// CRC-32 of the first `limit` bytes of `path` (whole file when limit < 0),
+/// streamed in chunks so large artifacts never sit in memory twice.
+std::uint32_t crc32_of_file(const std::string& path, std::streamoff limit, const char* who) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(std::string(who) + ": cannot reopen " + path + " for checksum");
+  }
+  std::uint32_t crc = 0;
+  std::streamoff remaining = limit;
+  char buf[1 << 16];
+  while (limit < 0 || remaining > 0) {
+    const auto want = limit < 0 ? static_cast<std::streamsize>(sizeof buf)
+                                : static_cast<std::streamsize>(
+                                      std::min<std::streamoff>(remaining, sizeof buf));
+    in.read(buf, want);
+    const std::streamsize got = in.gcount();
+    if (got > 0) {
+      crc = util::crc32_update(crc, buf, static_cast<std::size_t>(got));
+      remaining -= got;
+    }
+    if (!in) break;
+  }
+  if (limit >= 0 && remaining != 0) {
+    throw std::runtime_error(std::string(who) + ": " + path + ": short read during checksum");
+  }
+  return crc;
+}
 }  // namespace
 
 void save_tensors(const std::string& path, const TensorMap& tensors) {
@@ -75,6 +110,16 @@ void save_tensors(const std::string& path, const TensorMap& tensors, const MetaM
               static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
   }
   if (!out) throw std::runtime_error("save_tensors: write failed for " + path);
+  out.close();
+  // Integrity trailer: tag + CRC-32 of everything written above. Computed by
+  // re-reading the closed file so the checksum covers the bytes that actually
+  // reached the filesystem, not just the ones we intended to write.
+  const std::uint32_t crc = crc32_of_file(path, -1, "save_tensors");
+  std::ofstream trailer(path, std::ios::binary | std::ios::app);
+  if (!trailer) throw std::runtime_error("save_tensors: cannot append checksum to " + path);
+  write_pod(trailer, kCrcTag);
+  write_pod(trailer, crc);
+  if (!trailer) throw std::runtime_error("save_tensors: checksum write failed for " + path);
 }
 
 TensorMap load_tensors(const std::string& path) { return load_tensor_file(path).tensors; }
@@ -155,6 +200,26 @@ TensorFile load_tensor_file(const std::string& path) {
       }
     }
     file.tensors.emplace(std::move(name), std::move(tensor));
+  }
+
+  // Integrity trailer, if present. End-of-stream right here means a CRC-less
+  // file (v1, or v2 from before the trailer existed) — accepted as-is. A tag
+  // that matches means the writer vouched for every preceding byte; verify.
+  const std::streamoff body_end = in.tellg();
+  std::uint32_t tag = 0;
+  in.read(reinterpret_cast<char*>(&tag), sizeof tag);
+  if (!in || tag != kCrcTag) return file;
+  std::uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  if (!in) {
+    throw ArtifactCorruptError("load_tensors: " + path +
+                               ": integrity trailer truncated (corrupt file)");
+  }
+  const std::uint32_t computed = crc32_of_file(path, body_end, "load_tensors");
+  if (computed != stored) {
+    throw ArtifactCorruptError("load_tensors: " + path + ": CRC-32 mismatch (stored " +
+                               std::to_string(stored) + ", computed " +
+                               std::to_string(computed) + ") — file is corrupt");
   }
   return file;
 }

@@ -1,0 +1,50 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// checksum appended to serialize-v2 artifact files and verified on load.
+//
+// Header-only and dependency-free on purpose: the serializer, the tests,
+// and any future cache layer all need the same 4 bytes to agree, so there
+// is exactly one implementation. The 256-entry table is built once at
+// first use behind a magic static; `crc32_update` supports incremental
+// (chunked) computation so callers never need the whole file in memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pecan::util {
+
+namespace detail {
+inline const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    struct Table { std::uint32_t e[256]; };
+    Table t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t.e[i] = c;
+    }
+    return t;
+  }();
+  return table.e;
+}
+}  // namespace detail
+
+/// Feeds `n` bytes into a running CRC-32. Start from 0; chain freely.
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data, std::size_t n) {
+  const std::uint32_t* table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t n) {
+  return crc32_update(0, data, n);
+}
+
+}  // namespace pecan::util

@@ -1,0 +1,87 @@
+// util::FaultInjector — process-global, site-keyed fault injection.
+//
+// Production code marks candidate failure points with
+// `PECAN_FAULT_POINT("site.name")`; each returns true when the site is
+// armed and its seeded probability draw fires, and the call site then
+// simulates the failure it guards (short read, thrown error, stall, ...).
+// Unarmed cost is ONE relaxed atomic load — the macro short-circuits
+// before taking any lock, so the hot path is unaffected in normal builds
+// and in production processes that never arm a site.
+//
+// Sites are armed programmatically (`arm`) from tests, or from a spec
+// string (`arm_spec`) exposed as `model_server --fault-spec`:
+//
+//     site:p=0.05,count=3,latency_ms=10;other.site:p=1
+//
+//   * `p`          — fire probability per visit, default 1.0
+//   * `count`      — maximum number of fires, default unlimited
+//   * `latency_ms` — sleep injected before a fire reports, default 0
+//
+// Draws come from a seeded splitmix64 stream (`set_seed`), so a chaos run
+// with a fixed seed replays the same fault schedule — the property the CI
+// chaos job and `tests/test_faults.cpp` rely on. The registered site
+// names and their effects are documented in docs/FAULTS.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pecan::util {
+
+/// Per-site configuration (and live state, once armed).
+struct FaultSite {
+  double probability = 1.0;     ///< chance each visit fires, in [0, 1]
+  std::int64_t count = -1;      ///< max fires remaining; -1 = unlimited
+  std::int64_t latency_ms = 0;  ///< sleep before a fire reports, ms
+  std::uint64_t fired = 0;      ///< fires so far (observability)
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. Construction is thread-safe (magic static).
+  static FaultInjector& instance();
+
+  /// Fast-path guard: false the moment no site is armed anywhere.
+  static bool armed() { return armed_flag().load(std::memory_order_relaxed); }
+
+  /// Arms (or re-arms) one site. Throws std::invalid_argument on a bad
+  /// probability.
+  void arm(const std::string& site, FaultSite config);
+
+  /// Parses and arms a `site:k=v,...;site2:...` spec string (grammar
+  /// above). Throws std::invalid_argument naming the offending token.
+  void arm_spec(const std::string& spec);
+
+  void disarm(const std::string& site);
+  void disarm_all();
+
+  /// Reseeds the deterministic draw stream.
+  void set_seed(std::uint64_t seed);
+
+  /// Slow path behind PECAN_FAULT_POINT: true iff `site` is armed, has
+  /// fires remaining, and the next draw lands under its probability.
+  /// Sleeps the site's latency_ms before returning true.
+  bool fire(const char* site);
+
+  /// Fires recorded at `site` so far (0 if never armed).
+  std::uint64_t fired(const std::string& site) const;
+
+ private:
+  FaultInjector() = default;
+  static std::atomic<bool>& armed_flag();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FaultSite> sites_;
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+};
+
+}  // namespace pecan::util
+
+/// True iff the named fault site fires this visit. Zero-cost while no site
+/// is armed (single relaxed atomic load, no function call).
+#define PECAN_FAULT_POINT(site)              \
+  (::pecan::util::FaultInjector::armed() &&  \
+   ::pecan::util::FaultInjector::instance().fire(site))

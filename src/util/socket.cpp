@@ -1,7 +1,9 @@
 #include "util/socket.hpp"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -12,6 +14,8 @@
 #include <sys/types.h>
 #include <thread>
 #include <unistd.h>
+
+#include "util/fault_injector.hpp"
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0  // non-Linux: callers must ignore SIGPIPE themselves
@@ -77,8 +81,19 @@ int tcp_connect(const std::string& host, std::uint16_t port, int timeout_ms) {
   int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0) {
     if (errno != EINPROGRESS) throw_errno("tcp_connect: connect " + host + ":" + std::to_string(port));
+    // Poll with an EINTR retry against an absolute deadline: an interrupting
+    // timer signal must not abort (or silently extend) the connect.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
     pollfd pfd{fd.get(), POLLOUT, 0};
-    rc = ::poll(&pfd, 1, timeout_ms);
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 deadline - std::chrono::steady_clock::now())
+                                 .count();
+      rc = ::poll(&pfd, 1, static_cast<int>(std::max<long long>(remaining, 0)));
+      if (rc < 0 && errno == EINTR) continue;
+      break;
+    }
     if (rc == 0) throw std::runtime_error("tcp_connect: timeout to " + host + ":" + std::to_string(port));
     if (rc < 0) throw_errno("tcp_connect: poll");
     int err = 0;
@@ -127,7 +142,9 @@ bool wait_port_ready(const std::string& host, std::uint16_t port, int timeout_ms
 bool send_all(int fd, const void* data, std::size_t n) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
-    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    // Fault site: force a 1-byte partial write to exercise the resume loop.
+    const std::size_t chunk = PECAN_FAULT_POINT("socket.send_chunk") ? 1 : n;
+    const ssize_t sent = ::send(fd, p, chunk, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET) return false;
@@ -142,7 +159,9 @@ bool send_all(int fd, const void* data, std::size_t n) {
 bool recv_exact(int fd, void* data, std::size_t n) {
   char* p = static_cast<char*>(data);
   while (n > 0) {
-    const ssize_t got = ::recv(fd, p, n, 0);
+    // Fault site: force a 1-byte short read to exercise the resume loop.
+    const std::size_t chunk = PECAN_FAULT_POINT("socket.recv_chunk") ? 1 : n;
+    const ssize_t got = ::recv(fd, p, chunk, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
       if (errno == ECONNRESET) return false;
